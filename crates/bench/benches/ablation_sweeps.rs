@@ -1,0 +1,129 @@
+//! Design-choice ablations beyond the paper's figures: sweeps over the
+//! parameters `DESIGN.md` calls out as load-bearing.
+//!
+//! * **Optimizer latency** — the paper's earlier work found a pipelined
+//!   optimizer with 1K–10K cycles of latency sustains rePLay's throughput
+//!   (§4); the sweep shows IPC as a function of cycles-per-uop.
+//! * **Frame cache capacity** — optimized frames occupy fewer slots, so
+//!   capacity interacts with optimization (§6.1).
+//! * **Maximum frame size** — longer frames expose more redundancy but
+//!   risk more assertion exposure.
+//! * **Bias threshold** — how long a branch must run one way before it is
+//!   converted into an assertion.
+//! * **Rescheduling** — the §4 position-field extension (off in the
+//!   paper's evaluated configuration).
+
+use replay_bench::{rule, scale};
+use replay_core::{DatapathConfig, OptConfig};
+use replay_sim::{simulate, ConfigKind, SimConfig};
+use replay_trace::workloads;
+
+const APPS: [&str; 4] = ["bzip2", "crafty", "vortex", "power"];
+
+fn run(app: &str, n: usize, cfg: &SimConfig) -> f64 {
+    let t = workloads::by_name(app).unwrap().segment_trace(0, n);
+    simulate(&t, cfg).ipc()
+}
+
+fn main() {
+    let n = scale().min(20_000);
+    println!("Design-choice ablation sweeps (scale {n} x86/segment, RPO configuration)");
+
+    println!("\n[1] optimizer datapath latency (paper model: 10 cycles/uop, depth 3)");
+    rule(64);
+    print!("{:>16}", "cycles/uop");
+    for app in APPS {
+        print!(" {:>10}", app);
+    }
+    println!();
+    rule(64);
+    for cpu in [1u64, 10, 40, 100, 400] {
+        print!("{:>16}", cpu);
+        for app in APPS {
+            let mut cfg = SimConfig::new(ConfigKind::ReplayOpt).without_verify();
+            cfg.datapath = DatapathConfig {
+                cycles_per_uop: cpu,
+                ..DatapathConfig::default()
+            };
+            print!(" {:>10.3}", run(app, n, &cfg));
+        }
+        println!();
+    }
+
+    println!("\n[2] frame cache capacity in uops (paper: 16K)");
+    rule(64);
+    print!("{:>16}", "capacity");
+    for app in APPS {
+        print!(" {:>10}", app);
+    }
+    println!();
+    rule(64);
+    for cap in [1usize * 1024, 4 * 1024, 16 * 1024, 64 * 1024] {
+        print!("{:>16}", cap);
+        for app in APPS {
+            let mut cfg = SimConfig::new(ConfigKind::ReplayOpt).without_verify();
+            cfg.timing.frame_cache_uops = cap;
+            print!(" {:>10.3}", run(app, n, &cfg));
+        }
+        println!();
+    }
+
+    println!("\n[3] maximum frame size in uops (paper: 256)");
+    rule(64);
+    print!("{:>16}", "max uops");
+    for app in APPS {
+        print!(" {:>10}", app);
+    }
+    println!();
+    rule(64);
+    for max in [32usize, 64, 128, 256] {
+        print!("{:>16}", max);
+        for app in APPS {
+            let mut cfg = SimConfig::new(ConfigKind::ReplayOpt).without_verify();
+            cfg.constructor.max_uops = max;
+            print!(" {:>10.3}", run(app, n, &cfg));
+        }
+        println!();
+    }
+
+    println!("\n[4] branch bias threshold (consecutive outcomes; paper-era designs: ~8)");
+    rule(64);
+    print!("{:>16}", "threshold");
+    for app in APPS {
+        print!(" {:>10}", app);
+    }
+    println!();
+    rule(64);
+    for thr in [2u32, 4, 8, 16, 32] {
+        print!("{:>16}", thr);
+        for app in APPS {
+            let mut cfg = SimConfig::new(ConfigKind::ReplayOpt).without_verify();
+            cfg.constructor.bias_threshold = thr;
+            print!(" {:>10.3}", run(app, n, &cfg));
+        }
+        println!();
+    }
+
+    println!("\n[5] position-field rescheduling (extension; paper config: off)");
+    rule(64);
+    print!("{:>16}", "reschedule");
+    for app in APPS {
+        print!(" {:>10}", app);
+    }
+    println!();
+    rule(64);
+    for (label, on) in [("off", false), ("on", true)] {
+        print!("{:>16}", label);
+        for app in APPS {
+            let cfg = SimConfig::new(ConfigKind::ReplayOpt)
+                .with_opt(OptConfig {
+                    reschedule: on,
+                    ..OptConfig::default()
+                })
+                .without_verify();
+            print!(" {:>10.3}", run(app, n, &cfg));
+        }
+        println!();
+    }
+    rule(64);
+}

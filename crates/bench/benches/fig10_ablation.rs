@@ -1,0 +1,34 @@
+//! Figure 10: the performance impact of disabling each optimization
+//! individually (leave-one-out), on the paper's relative scale where 0 is
+//! RP performance and 1 is full RPO performance. Dead-code elimination is
+//! always enabled. Paper observations: reassociation (RA) is the gateway
+//! optimization — disabling it collapses DreamWeaver and Excel nearly to
+//! RP; CSE dominates on bzip2; disabling store forwarding *helps* Excel
+//! (speculative unsafe stores alias and abort frames).
+
+use replay_bench::{rule, scale};
+use replay_sim::experiment::{ablation, ABLATION_APPS, ABLATION_LABELS};
+
+fn main() {
+    let scale = scale();
+    println!("Figure 10 — leave-one-out optimization impact (scale {scale} x86/segment)");
+    println!("scale: 0.0 = RP (no optimization), 1.0 = RPO (all optimizations)");
+    rule(96);
+    print!("{:10}", "app");
+    for l in ABLATION_LABELS {
+        print!(" {:>8}", format!("no {l}"));
+    }
+    println!(" {:>8} {:>8} {:>8}", "RPO@", "RP ipc", "RPO ipc");
+    rule(96);
+    for row in ablation(&ABLATION_APPS, scale) {
+        print!("{:10}", row.name);
+        for v in row.relative {
+            print!(" {:8.2}", v);
+        }
+        println!(
+            " {:8.2} {:8.2} {:8.2}",
+            row.rpo_relative, row.rp_ipc, row.rpo_ipc
+        );
+    }
+    rule(96);
+}

@@ -1,0 +1,52 @@
+//! Figure 6: estimated x86 instructions retired per cycle for the ICache,
+//! Trace-Cache, rePLay, and rePLay+Optimization configurations, with the
+//! percent IPC increase of RPO over RP annotated (the numbers printed above
+//! the RPO bars in the paper). Also reports the §6.1 side observations:
+//! frame coverage (paper: ~86% SPEC / ~72% desktop) and assert cycles
+//! (paper: <3% on average).
+
+use replay_bench::{paper_fig6_gain, rule, scale};
+use replay_sim::experiment::ipc_comparison;
+use replay_trace::Suite;
+
+fn main() {
+    let scale = scale();
+    println!("Figure 6 — x86 IPC by configuration (scale {scale} x86/segment)");
+    rule(86);
+    println!(
+        "{:8} {:>6} {:>6} {:>6} {:>6}  {:>8} {:>8}  {:>6} {:>8}",
+        "app", "IC", "TC", "RP", "RPO", "gain%", "paper%", "cov", "assert%"
+    );
+    rule(86);
+    let rows = ipc_comparison(scale);
+    let mut spec_cov = Vec::new();
+    let mut desk_cov = Vec::new();
+    let mut gains = Vec::new();
+    for r in &rows {
+        println!(
+            "{:8} {:6.2} {:6.2} {:6.2} {:6.2}  {:+8.1} {:8.0}  {:6.2} {:8.2}",
+            r.name,
+            r.ipc[0],
+            r.ipc[1],
+            r.ipc[2],
+            r.ipc[3],
+            r.rpo_gain_pct,
+            paper_fig6_gain(&r.name).unwrap_or(f64::NAN),
+            r.coverage,
+            r.assert_cycle_frac * 100.0
+        );
+        match r.suite {
+            Suite::SpecInt => spec_cov.push(r.coverage),
+            Suite::Desktop => desk_cov.push(r.coverage),
+        }
+        gains.push(r.rpo_gain_pct);
+    }
+    rule(86);
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "average RPO gain {:+.1}% (paper: +17%) | coverage SPEC {:.0}% (paper 86%), desktop {:.0}% (paper 72%)",
+        avg(&gains),
+        avg(&spec_cov) * 100.0,
+        avg(&desk_cov) * 100.0
+    );
+}

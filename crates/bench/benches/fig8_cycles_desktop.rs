@@ -1,0 +1,9 @@
+//! Figure 8: per-benchmark execution cycles for the RP and RPO
+//! configurations on the desktop workloads, classified by fetch event.
+
+fn main() {
+    replay_bench::print_breakdown(
+        replay_trace::Suite::Desktop,
+        "Figure 8 — desktop cycle breakdown",
+    );
+}

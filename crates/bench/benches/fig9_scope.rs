@@ -1,0 +1,32 @@
+//! Figure 9: the percent increase in IPC when frames are optimized only
+//! within individual basic blocks versus when they are optimized as a unit.
+//! The paper's observation: block-level optimization offers some benefit
+//! but frame-level optimization yields substantially more (and block-level
+//! can even lose to basic rePLay when optimization latency outweighs its
+//! benefit, as on SoundForge).
+
+use replay_bench::{rule, scale};
+use replay_sim::experiment::scope_comparison;
+
+fn main() {
+    let scale = scale();
+    println!("Figure 9 — block-scope vs frame-scope optimization (scale {scale} x86/segment)");
+    rule(44);
+    println!("{:10} {:>10} {:>10}", "app", "block%", "frame%");
+    rule(44);
+    let mut blocks = Vec::new();
+    let mut frames = Vec::new();
+    for r in scope_comparison(scale) {
+        println!("{:10} {:+10.1} {:+10.1}", r.name, r.block_pct, r.frame_pct);
+        blocks.push(r.block_pct);
+        frames.push(r.frame_pct);
+    }
+    rule(44);
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "{:10} {:+10.1} {:+10.1}   (frame-level should dominate)",
+        "Average",
+        avg(&blocks),
+        avg(&frames)
+    );
+}

@@ -1,0 +1,193 @@
+//! Criterion microbenchmarks for the performance-critical components:
+//! the optimizer itself (the paper's 1K–10K-cycle hardware budget, §4),
+//! the x86 decoder/translator front end, the frame cache, and the branch
+//! predictor.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use replay_core::{optimize, AliasProfile, OptConfig, OptFrame};
+use replay_frame::{ConstructorConfig, Frame, FrameCache, FrameConstructor, FrameId, RetireEvent};
+use replay_timing::Gshare;
+use replay_trace::workloads;
+use replay_uop::{ArchReg, MachineState, Opcode, Uop};
+use replay_x86::{decode, encode, translate, Gpr, Inst, MemOperand};
+use std::hint::black_box;
+
+/// Builds a representative 128-uop frame: unrolled call/spill/load-heavy
+/// code in the shape the constructor actually produces.
+fn representative_frame() -> Frame {
+    use ArchReg::*;
+    let mut uops = Vec::new();
+    let mut x86_addrs = Vec::new();
+    let mut addr = 0x1000u32;
+    while uops.len() < 120 {
+        // PUSH ESI; pointer-chased load pair; redundant reload; POP ESI.
+        let before = uops.len();
+        uops.push(Uop::store(Esp, -4, Esi).at(addr));
+        uops.push(Uop::lea(Esp, Esp, None, 1, -4).at(addr));
+        uops.push(Uop::load(Eax, Esp, 4).at(addr + 1));
+        uops.push(Uop::alu_imm(Opcode::Add, Eax, Eax, 7).at(addr + 2));
+        uops.push(Uop::lea(Ebx, Esi, None, 1, 8).at(addr + 3));
+        uops.push(Uop::load(Edx, Ebx, -8).at(addr + 4));
+        uops.push(Uop::alu(Opcode::Add, Edx, Edx, Eax).at(addr + 5));
+        uops.push(Uop::store(Esp, 0, Edx).at(addr + 6));
+        uops.push(Uop::load(Esi, Esp, 0).at(addr + 7));
+        uops.push(Uop::lea(Esp, Esp, None, 1, 4).at(addr + 7));
+        for _ in before..uops.len() {
+            // One synthetic x86 instruction per uop keeps bookkeeping easy.
+        }
+        for i in 0..8 {
+            x86_addrs.push(addr + i);
+        }
+        addr += 0x10;
+    }
+    let n = uops.len();
+    Frame {
+        id: FrameId(0),
+        start_addr: 0x1000,
+        uops,
+        x86_addrs,
+        block_starts: vec![0],
+        expectations: vec![],
+        exit_next: addr,
+        orig_uop_count: n,
+    }
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let frame = representative_frame();
+    let profile = AliasProfile::empty();
+    let mut g = c.benchmark_group("optimizer");
+    g.throughput(Throughput::Elements(frame.uops.len() as u64));
+    g.bench_function("optimize_128uop_frame", |b| {
+        b.iter(|| optimize(black_box(&frame), &profile, &OptConfig::default()))
+    });
+    g.bench_function("remap_only", |b| {
+        b.iter(|| {
+            let mut f = OptFrame::from_frame(black_box(&frame));
+            f.compact();
+            f
+        })
+    });
+    g.finish();
+}
+
+fn bench_translator(c: &mut Criterion) {
+    let insts = vec![
+        Inst::PushR { src: Gpr::Ebp },
+        Inst::MovRM {
+            dst: Gpr::Ecx,
+            mem: MemOperand::base_disp(Gpr::Esp, 0xc),
+        },
+        Inst::AluRR {
+            op: replay_x86::AluOp::Or,
+            dst: Gpr::Edx,
+            src: Gpr::Ebx,
+        },
+        Inst::Call { target: 0x5000 },
+        Inst::Ret,
+    ];
+    let mut g = c.benchmark_group("frontend");
+    g.throughput(Throughput::Elements(insts.len() as u64));
+    g.bench_function("translate", |b| {
+        b.iter(|| {
+            for i in &insts {
+                black_box(translate(black_box(i), 0x1000, 0x1005));
+            }
+        })
+    });
+    let encoded: Vec<Vec<u8>> = insts.iter().map(|i| encode(i, 0x1000)).collect();
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            for bytes in &encoded {
+                black_box(decode(black_box(bytes), 0x1000).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_frame_cache(c: &mut Criterion) {
+    let frame = representative_frame();
+    c.bench_function("frame_cache/insert_lookup", |b| {
+        let mut cache: FrameCache<Frame> = FrameCache::new(16 * 1024);
+        b.iter(|| {
+            let mut f = frame.clone();
+            f.start_addr = black_box(0x1000);
+            cache.insert(f);
+            black_box(cache.lookup(0x1000).is_some())
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("gshare/predict_update", |b| {
+        let mut g = Gshare::new(18);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            g.predict_and_update(black_box(0x4000 + (i & 63)), i % 3 != 0)
+        })
+    });
+}
+
+fn bench_constructor(c: &mut Criterion) {
+    // Feed a real workload's first records through the constructor.
+    let trace = workloads::by_name("crafty")
+        .unwrap()
+        .segment_trace(0, 4_000);
+    let flows: Vec<(u32, Vec<Uop>, u32, u32)> = trace
+        .records()
+        .iter()
+        .map(|r| {
+            (
+                r.addr,
+                translate(&r.inst, r.addr, r.fallthrough()),
+                r.next_pc,
+                r.fallthrough(),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("constructor");
+    g.throughput(Throughput::Elements(flows.len() as u64));
+    g.bench_function("retire_4k_insts", |b| {
+        b.iter(|| {
+            let mut cons = FrameConstructor::new(ConstructorConfig::default());
+            let mut frames = 0u32;
+            for (addr, uops, next_pc, fallthrough) in &flows {
+                let ev = RetireEvent {
+                    addr: *addr,
+                    uops,
+                    next_pc: *next_pc,
+                    fallthrough: *fallthrough,
+                };
+                if cons.retire(&ev).is_some() {
+                    frames += 1;
+                }
+            }
+            black_box(frames)
+        })
+    });
+    g.finish();
+}
+
+fn bench_exec_frame(c: &mut Criterion) {
+    let frame = representative_frame();
+    let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
+    c.bench_function("exec_frame/optimized", |b| {
+        let mut m = MachineState::new();
+        m.set_reg(ArchReg::Esp, 0x9000);
+        m.set_reg(ArchReg::Esi, 0x5000);
+        b.iter(|| replay_core::exec_frame(black_box(&opt), &mut m))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_optimizer,
+    bench_translator,
+    bench_frame_cache,
+    bench_predictor,
+    bench_constructor,
+    bench_exec_frame
+);
+criterion_main!(benches);

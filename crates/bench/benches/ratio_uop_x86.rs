@@ -1,0 +1,30 @@
+//! §5.1.1: the x86→uop translator's expansion ratio. The paper reports an
+//! average micro-operation-to-x86-instruction ratio of 1.4 for its decode
+//! flows, "close to our estimates of what is achieved on real x86
+//! implementations".
+
+use replay_bench::{rule, scale};
+use replay_trace::workloads;
+use replay_x86::Interp;
+
+fn main() {
+    let scale = scale().min(20_000);
+    println!("uop / x86 expansion ratio (scale {scale} x86/segment; paper average: 1.4)");
+    rule(30);
+    let mut tx = 0u64;
+    let mut tu = 0u64;
+    for w in workloads::all() {
+        let (program, data) = w.segment_program(0);
+        let mut interp = Interp::new(program);
+        for (addr, bytes) in &data {
+            interp.machine.mem.write_bytes(*addr, bytes);
+        }
+        interp.run(scale).expect("workload runs");
+        let t = interp.translator();
+        println!("{:10} {:.3}", w.name, t.ratio());
+        tx += t.x86_count();
+        tu += t.uop_count();
+    }
+    rule(30);
+    println!("{:10} {:.3}", "Average", tu as f64 / tx as f64);
+}

@@ -1,0 +1,121 @@
+//! Shared helpers for the benchmark harnesses.
+//!
+//! Every figure/table of the paper's evaluation has a `harness = false`
+//! bench target in `benches/` that prints the measured result next to the
+//! paper's reported value. `cargo bench --workspace` regenerates everything;
+//! see `EXPERIMENTS.md` at the repository root for the recorded comparison.
+//!
+//! The simulated trace length per workload segment is controlled by the
+//! `REPLAY_SCALE` environment variable (dynamic x86 instructions; default
+//! [`DEFAULT_SCALE`]). Larger scales reduce warm-up effects at the cost of
+//! bench time.
+
+#![forbid(unsafe_code)]
+
+/// Default per-segment dynamic instruction count for bench runs.
+pub const DEFAULT_SCALE: usize = 30_000;
+
+/// The per-segment trace length to simulate, from `REPLAY_SCALE` or the
+/// default.
+pub fn scale() -> usize {
+    std::env::var("REPLAY_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// The paper's Table 3 rows: `(name, uops removed %, loads removed %,
+/// IPC increase %)`.
+pub const PAPER_TABLE3: [(&str, f64, f64, f64); 14] = [
+    ("bzip2", 23.0, 30.0, 28.0),
+    ("crafty", 16.0, 11.0, 10.0),
+    ("eon", 25.0, 18.0, 31.0),
+    ("gzip", 13.0, 10.0, 6.0),
+    ("parser", 21.0, 14.0, 8.0),
+    ("twolf", 14.0, 15.0, 13.0),
+    ("vortex", 24.0, 34.0, 33.0),
+    ("access", 22.0, 20.0, 21.0),
+    ("dream", 28.0, 30.0, 26.0),
+    ("excel", 21.0, 21.0, 13.0),
+    ("lotus", 22.0, 26.0, 11.0),
+    ("photo", 15.0, 19.0, 30.0),
+    ("power", 32.0, 34.0, 6.0),
+    ("sound", 22.0, 23.0, 6.0),
+];
+
+/// The paper's Figure 6 RPO-over-RP gain annotations, in the same order as
+/// [`PAPER_TABLE3`].
+pub fn paper_fig6_gain(name: &str) -> Option<f64> {
+    PAPER_TABLE3
+        .iter()
+        .find(|(n, _, _, _)| *n == name)
+        .map(|&(_, _, _, g)| g)
+}
+
+/// Prints a horizontal rule sized for the harness tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_cover_all_workloads() {
+        let names: Vec<_> = replay_trace::workloads::all()
+            .iter()
+            .map(|w| w.name)
+            .collect();
+        for (n, ..) in PAPER_TABLE3 {
+            assert!(names.contains(&n), "{n} is a workload");
+        }
+        assert_eq!(PAPER_TABLE3.len(), names.len());
+    }
+
+    #[test]
+    fn fig6_lookup() {
+        assert_eq!(paper_fig6_gain("bzip2"), Some(28.0));
+        assert_eq!(paper_fig6_gain("nonesuch"), None);
+    }
+
+    #[test]
+    fn scale_defaults() {
+        assert!(scale() >= 1_000);
+    }
+}
+
+/// Prints a Figures 7/8-style cycle breakdown for one suite.
+pub fn print_breakdown(suite: replay_trace::Suite, title: &str) {
+    use replay_sim::experiment::cycle_breakdown;
+    use replay_timing::CycleBin;
+    let scale = scale();
+    println!("{title} (scale {scale} x86/segment; kilocycles)");
+    rule(98);
+    print!("{:10} {:4}", "app", "cfg");
+    for bin in CycleBin::ALL {
+        print!(" {:>9}", bin.label());
+    }
+    println!(" {:>9}", "total");
+    rule(98);
+    let mut frame_rp = 0u64;
+    let mut frame_rpo = 0u64;
+    for row in cycle_breakdown(suite, scale) {
+        for (label, bins) in [("RP", row.rp), ("RPO", row.rpo)] {
+            print!("{:10} {:4}", row.name, label);
+            for bin in CycleBin::ALL {
+                print!(" {:9.1}", bins.get(bin) as f64 / 1e3);
+            }
+            println!(" {:9.1}", bins.total() as f64 / 1e3);
+        }
+        frame_rp += row.rp.get(CycleBin::Frame);
+        frame_rpo += row.rpo.get(CycleBin::Frame);
+    }
+    rule(98);
+    if frame_rp > 0 {
+        println!(
+            "Frame-cycle reduction RP->RPO: {:.0}% (paper: ~21%)",
+            (1.0 - frame_rpo as f64 / frame_rp as f64) * 100.0
+        );
+    }
+}

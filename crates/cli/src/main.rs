@@ -1,0 +1,334 @@
+//! `replay` — command-line driver for the rePLay reproduction.
+//!
+//! ```text
+//! replay workloads                          list the synthetic workload suite
+//! replay gen <workload> -o FILE [-n N] [-s SEG]
+//!                                           generate a trace file
+//! replay sim <workload|FILE> [-c CFG] [-n N] [--verify]
+//!                                           simulate one configuration
+//! replay compare <workload|FILE> [-n N]     all four configurations side by side
+//! replay frames <workload> [-n N] [--top K] inspect the most-optimized frames
+//! ```
+
+use replay_core::{optimize, AliasProfile, OptConfig};
+use replay_frame::{ConstructorConfig, FrameConstructor, RetireEvent};
+use replay_sim::{simulate, ConfigKind, Injector, SimConfig};
+use replay_timing::CycleBin;
+use replay_trace::{read_trace, workloads, write_trace, Trace};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("workloads") => cmd_workloads(),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("frames") => cmd_frames(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try `replay help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "replay — Dynamic Optimization of Micro-Operations (HPCA 2003) reproduction
+
+USAGE:
+  replay workloads                           list the synthetic workload suite
+  replay gen <workload> -o FILE [-n N] [-s SEG]
+                                             generate and save a trace
+  replay sim <workload|FILE> [-c CFG] [-n N] [--verify]
+                                             simulate one configuration
+                                             (CFG: IC, TC, RP, RPO; default RPO)
+  replay compare <workload|FILE> [-n N]      all four configurations side by side
+  replay frames <workload> [-n N] [--top K]  show the most-optimized frames
+  replay info <workload|FILE> [-n N]         trace statistics (mix, branches, footprint)
+  replay disasm <workload> [-s SEG]          disassemble a workload's program image"
+    );
+}
+
+/// Parses `-x value` style options; returns (positional, lookup).
+struct Opts<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Opts<'a> {
+    fn parse(args: &'a [String]) -> Opts<'a> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(name) = a.strip_prefix("--") {
+                // Boolean long flags.
+                flags.push((name, None));
+                i += 1;
+            } else if a.starts_with('-') && a.len() == 2 {
+                let value = args.get(i + 1).map(String::as_str);
+                flags.push((&a[1..], value));
+                i += 2;
+            } else {
+                positional.push(a);
+                i += 1;
+            }
+        }
+        Opts { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| *n == name)
+    }
+
+    fn count(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("bad -{name} value {v:?}")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    println!(
+        "{:10} {:8} {:>9} {:>14}   (Table 1 of the paper)",
+        "name", "suite", "segments", "default x86"
+    );
+    for w in workloads::all() {
+        println!(
+            "{:10} {:8} {:>9} {:>14}",
+            w.name,
+            match w.suite {
+                replay_trace::Suite::SpecInt => "SPECint",
+                replay_trace::Suite::Desktop => "desktop",
+            },
+            w.segments,
+            w.segments * w.default_segment_len,
+        );
+    }
+    Ok(())
+}
+
+/// Loads a trace by workload name or from a trace file.
+fn load_trace(source: &str, n: usize, segment: usize) -> Result<Trace, String> {
+    if let Some(w) = workloads::by_name(source) {
+        if segment >= w.segments {
+            return Err(format!("{source} has {} segments", w.segments));
+        }
+        return Ok(w.segment_trace(segment, n));
+    }
+    let file =
+        std::fs::File::open(source).map_err(|e| format!("no workload or file {source:?}: {e}"))?;
+    read_trace(std::io::BufReader::new(file)).map_err(|e| format!("reading {source:?}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args);
+    let [name] = opts.positional[..] else {
+        return Err("usage: replay gen <workload> -o FILE [-n N] [-s SEG]".into());
+    };
+    let out = opts.get("o").ok_or("missing -o FILE")?;
+    let n = opts.count("n", 100_000)?;
+    let seg = opts.count("s", 0)?;
+    let w = workloads::by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let trace = w.segment_trace(seg, n);
+    let file = std::fs::File::create(out).map_err(|e| format!("creating {out:?}: {e}"))?;
+    write_trace(std::io::BufWriter::new(file), &trace).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} records of `{}` segment {seg} to {out}",
+        trace.len(),
+        name
+    );
+    Ok(())
+}
+
+fn config_by_label(label: &str) -> Result<ConfigKind, String> {
+    ConfigKind::ALL
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(label))
+        .ok_or_else(|| format!("unknown configuration {label:?} (IC, TC, RP, RPO)"))
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args);
+    let [source] = opts.positional[..] else {
+        return Err("usage: replay sim <workload|FILE> [-c CFG] [-n N] [--verify]".into());
+    };
+    let n = opts.count("n", 30_000)?;
+    let kind = config_by_label(opts.get("c").unwrap_or("RPO"))?;
+    let trace = load_trace(source, n, 0)?;
+    let mut cfg = SimConfig::new(kind);
+    if !opts.has("verify") {
+        cfg = cfg.without_verify();
+    }
+    let r = simulate(&trace, &cfg);
+    println!("trace `{}`: {} x86 instructions", trace.name, trace.len());
+    println!(
+        "configuration {kind}: {} cycles, IPC {:.3}",
+        r.cycles,
+        r.ipc()
+    );
+    if kind.uses_frames() {
+        println!(
+            "coverage {:.1}%  |  uops removed {:.1}%  loads removed {:.1}%  |  aborts {}",
+            r.coverage * 100.0,
+            r.uop_removal() * 100.0,
+            r.load_removal() * 100.0,
+            r.assert_events
+        );
+        if r.verify.checked > 0 {
+            println!(
+                "verifier: {} checked, {} failed",
+                r.verify.checked, r.verify.failed
+            );
+        }
+    }
+    println!("cycle breakdown:");
+    for bin in CycleBin::ALL {
+        println!(
+            "  {:8} {:10} ({:5.1}%)",
+            bin.label(),
+            r.bins.get(bin),
+            r.bins.fraction(bin) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args);
+    let [source] = opts.positional[..] else {
+        return Err("usage: replay compare <workload|FILE> [-n N]".into());
+    };
+    let n = opts.count("n", 30_000)?;
+    let trace = load_trace(source, n, 0)?;
+    println!("trace `{}`: {} x86 instructions", trace.name, trace.len());
+    println!(
+        "{:5} {:>9} {:>7} {:>7} {:>9} {:>8}",
+        "cfg", "cycles", "IPC", "cov%", "removed%", "aborts"
+    );
+    let mut rp = 0.0;
+    let mut rpo = 0.0;
+    for kind in ConfigKind::ALL {
+        let r = simulate(&trace, &SimConfig::new(kind).without_verify());
+        println!(
+            "{:5} {:>9} {:>7.3} {:>7.1} {:>9.1} {:>8}",
+            kind.label(),
+            r.cycles,
+            r.ipc(),
+            r.coverage * 100.0,
+            r.uop_removal() * 100.0,
+            r.assert_events
+        );
+        match kind {
+            ConfigKind::Replay => rp = r.ipc(),
+            ConfigKind::ReplayOpt => rpo = r.ipc(),
+            _ => {}
+        }
+    }
+    if rp > 0.0 {
+        println!("optimization gain: {:+.1}%", (rpo / rp - 1.0) * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args);
+    let [source] = opts.positional[..] else {
+        return Err("usage: replay info <workload|FILE> [-n N]".into());
+    };
+    let n = opts.count("n", 30_000)?;
+    let trace = load_trace(source, n, 0)?;
+    println!("trace `{}`", trace.name);
+    print!("{}", replay_trace::TraceStats::of(&trace).report());
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args);
+    let [name] = opts.positional[..] else {
+        return Err("usage: replay disasm <workload> [-s SEG]".into());
+    };
+    let seg = opts.count("s", 0)?;
+    let w = workloads::by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let (program, _) = w.segment_program(seg);
+    for line in program.disasm() {
+        match line {
+            Ok(l) => println!("{:#010x}: {}", l.addr, l.inst),
+            Err(e) => return Err(format!("disassembly failed: {e}")),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_frames(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args);
+    let [name] = opts.positional[..] else {
+        return Err("usage: replay frames <workload> [-n N] [--top K]".into());
+    };
+    let n = opts.count("n", 20_000)?;
+    let top = opts.count("t", 3)?;
+    let w = workloads::by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let trace = w.segment_trace(0, n);
+    let mut injector = Injector::new();
+    injector.preseed(&trace);
+    let mut constructor = FrameConstructor::new(ConstructorConfig::default());
+    let mut best: Vec<(u64, replay_frame::Frame)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for r in trace.records() {
+        let flow = injector.flow(r);
+        let ev = RetireEvent {
+            addr: r.addr,
+            uops: &flow,
+            next_pc: r.next_pc,
+            fallthrough: r.fallthrough(),
+        };
+        if let Some(frame) = constructor.retire(&ev) {
+            if seen.insert(frame.start_addr) {
+                let (_, stats) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
+                best.push((stats.removed_uops(), frame));
+            }
+        }
+        injector.apply(r);
+    }
+    best.sort_by_key(|(removed, _)| std::cmp::Reverse(*removed));
+    println!(
+        "{} distinct frames constructed from {} instructions of `{}`",
+        best.len(),
+        trace.len(),
+        name
+    );
+    for (removed, frame) in best.into_iter().take(top) {
+        let (opt, stats) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
+        println!(
+            "\n=== frame at {:#x}: {} x86 instrs, {} -> {} uops ({removed} removed, {} loads) ===",
+            frame.start_addr,
+            frame.x86_count(),
+            stats.uops_before,
+            stats.uops_after,
+            stats.removed_loads()
+        );
+        println!("--- before ---\n{}", frame.listing());
+        println!("--- after ---\n{}", opt.listing());
+    }
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Alias profiles for speculative memory optimization.
+
+use std::collections::HashSet;
+
+/// A record of which memory instructions *aliased* (touched the same
+/// address) during profiled execution.
+///
+/// The paper (§3.4): "We record aliasing events during execution and pass
+/// this information to the optimizer. If the intervening stores did not
+/// alias during execution, the optimizer speculates that they never alias,
+/// and removes the load."
+///
+/// Pairs are keyed by the x86 addresses of the two memory instructions and
+/// are unordered.
+#[derive(Debug, Clone, Default)]
+pub struct AliasProfile {
+    pairs: HashSet<(u32, u32)>,
+}
+
+impl AliasProfile {
+    /// A profile with no recorded aliasing events — every speculation is
+    /// permitted.
+    pub fn empty() -> AliasProfile {
+        AliasProfile::default()
+    }
+
+    /// Creates an empty profile (same as [`AliasProfile::empty`]).
+    pub fn new() -> AliasProfile {
+        AliasProfile::default()
+    }
+
+    fn key(a: u32, b: u32) -> (u32, u32) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Records that the memory instructions at `a` and `b` touched the same
+    /// address in some dynamic instance.
+    pub fn record(&mut self, a: u32, b: u32) {
+        self.pairs.insert(Self::key(a, b));
+    }
+
+    /// True if an aliasing event between `a` and `b` was ever observed.
+    pub fn aliased(&self, a: u32, b: u32) -> bool {
+        self.pairs.contains(&Self::key(a, b))
+    }
+
+    /// Number of recorded aliasing pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no aliasing events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &AliasProfile) {
+        self.pairs.extend(other.pairs.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unordered_pairs() {
+        let mut p = AliasProfile::new();
+        p.record(0x10, 0x20);
+        assert!(p.aliased(0x10, 0x20));
+        assert!(p.aliased(0x20, 0x10));
+        assert!(!p.aliased(0x10, 0x30));
+        assert_eq!(p.len(), 1);
+        p.record(0x20, 0x10);
+        assert_eq!(p.len(), 1, "duplicate pair collapses");
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = AliasProfile::new();
+        a.record(1, 2);
+        let mut b = AliasProfile::new();
+        b.record(3, 4);
+        a.merge(&b);
+        assert!(a.aliased(1, 2) && a.aliased(3, 4));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_profile_permits_everything() {
+        let p = AliasProfile::empty();
+        assert!(p.is_empty());
+        assert!(!p.aliased(0, 0));
+    }
+}

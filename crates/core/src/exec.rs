@@ -1,0 +1,380 @@
+//! Functional execution of renamed frames.
+//!
+//! Frames execute *atomically*: register and memory results are buffered
+//! and committed only if every assertion holds and no unsafe store
+//! conflicts. This is the reference semantics the state verifier checks
+//! optimized frames against, and the source of truth for assertion/abort
+//! outcomes in the simulator.
+
+use crate::ir::{FlagsSrc, Src};
+use crate::OptFrame;
+use replay_uop::{eval_alu, Flags, MachineState, Opcode};
+use std::collections::HashMap;
+
+/// One memory access performed during frame execution, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTransaction {
+    /// Index of the uop (in the compacted frame) that performed the access.
+    pub uop_index: usize,
+    /// Effective address.
+    pub addr: u32,
+    /// Value read or written.
+    pub value: u32,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+/// The outcome of executing a frame against a machine state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// Every assertion held; results were committed. Carries the memory
+    /// transactions performed (after optimization).
+    Completed {
+        /// The frame's memory accesses in program order.
+        transactions: Vec<MemTransaction>,
+    },
+    /// An assertion fired at the given uop index; state was rolled back
+    /// (nothing committed).
+    AssertFired {
+        /// Index of the firing assertion.
+        uop_index: usize,
+    },
+    /// An unsafe store's address matched an earlier transaction in the
+    /// frame; the frame aborted (nothing committed, §3.4).
+    UnsafeConflict {
+        /// Index of the conflicting unsafe store.
+        uop_index: usize,
+        /// Index of the earlier transaction it collided with.
+        conflicts_with: usize,
+    },
+    /// The frame faulted (division by zero) — treated as an abort.
+    Faulted {
+        /// Index of the faulting uop.
+        uop_index: usize,
+    },
+}
+
+/// Executes a compacted frame against `m`, committing its effects only on
+/// clean completion.
+///
+/// Loads see earlier stores *from the same frame* (the hardware's store
+/// buffer); stores commit to memory, and live-out registers and flags
+/// commit to the register file, only when the whole frame succeeds.
+///
+/// # Panics
+///
+/// Panics if the frame contains invalidated slots (call
+/// [`OptFrame::compact`] first) or a malformed uop.
+pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
+    let n = frame.len();
+    let mut values: Vec<u32> = vec![0; n];
+    let mut flag_results: Vec<Flags> = vec![Flags::CLEAR; n];
+    let mut store_buffer: HashMap<u32, u32> = HashMap::new();
+    let mut transactions: Vec<MemTransaction> = Vec::new();
+
+    fn read(m: &MachineState, values: &[u32], src: Option<Src>) -> u32 {
+        match src {
+            Some(Src::LiveIn(r)) => m.reg(r),
+            Some(Src::Slot(s)) => values[s as usize],
+            None => 0,
+        }
+    }
+    fn read_flags(m: &MachineState, flag_results: &[Flags], fs: FlagsSrc) -> Flags {
+        match fs {
+            FlagsSrc::LiveIn => m.flags(),
+            FlagsSrc::Slot(s) => flag_results[s as usize],
+        }
+    }
+
+    for (i, u) in frame.iter() {
+        assert!(u.valid, "execute requires a compacted frame");
+        let i_us = i as usize;
+        match u.op {
+            Opcode::Load => {
+                let base = read(m, &values, u.src_a);
+                let index = read(m, &values, u.src_b);
+                let addr = base
+                    .wrapping_add(index.wrapping_mul(u.scale as u32))
+                    .wrapping_add(u.imm as u32);
+                let value = match store_buffer.get(&addr) {
+                    Some(&v) => v,
+                    None => m.load32(addr),
+                };
+                values[i_us] = value;
+                transactions.push(MemTransaction {
+                    uop_index: i_us,
+                    addr,
+                    value,
+                    is_store: false,
+                });
+            }
+            Opcode::Store => {
+                let base = read(m, &values, u.src_a);
+                let addr = base.wrapping_add(u.imm as u32);
+                let value = read(m, &values, u.src_b);
+                if u.unsafe_store {
+                    // Compare against all earlier transactions in the frame
+                    // (§3.4); any match means the speculation was wrong.
+                    if let Some(t) = transactions.iter().find(|t| t.addr == addr) {
+                        return FrameOutcome::UnsafeConflict {
+                            uop_index: i_us,
+                            conflicts_with: t.uop_index,
+                        };
+                    }
+                }
+                store_buffer.insert(addr, value);
+                transactions.push(MemTransaction {
+                    uop_index: i_us,
+                    addr,
+                    value,
+                    is_store: true,
+                });
+            }
+            Opcode::Assert => {
+                let cc = u.cc.expect("assert carries cc");
+                let fs = u.flags_src.expect("assert reads flags");
+                if !cc.holds(read_flags(m, &flag_results, fs)) {
+                    return FrameOutcome::AssertFired { uop_index: i_us };
+                }
+            }
+            Opcode::AssertCmp | Opcode::AssertTest => {
+                let cc = u.cc.expect("assert carries cc");
+                let a = read(m, &values, u.src_a);
+                let b = match u.src_b {
+                    Some(_) => read(m, &values, u.src_b),
+                    None => u.imm as u32,
+                };
+                let alu = if u.op == Opcode::AssertCmp {
+                    Opcode::Cmp
+                } else {
+                    Opcode::Test
+                };
+                let flags = eval_alu(alu, a, b).expect("cmp/test never fault").flags;
+                if !cc.holds(flags) {
+                    return FrameOutcome::AssertFired { uop_index: i_us };
+                }
+            }
+            Opcode::Br | Opcode::Jmp | Opcode::JmpInd => {
+                // The frame's unique exit (or a residual direct jump): no
+                // register/memory effect at the uop level.
+            }
+            Opcode::Nop | Opcode::Fence => {}
+            op if op.is_alu() => {
+                let a = read(m, &values, u.src_a);
+                let b = if op == Opcode::Lea {
+                    let index = read(m, &values, u.src_b);
+                    index
+                        .wrapping_mul(u.scale as u32)
+                        .wrapping_add(u.imm as u32)
+                } else {
+                    match u.src_b {
+                        Some(_) => read(m, &values, u.src_b),
+                        None => u.imm as u32,
+                    }
+                };
+                match eval_alu(op, a, b) {
+                    Ok(r) => {
+                        values[i_us] = r.value;
+                        if u.writes_flags {
+                            flag_results[i_us] = r.flags;
+                        }
+                    }
+                    Err(_) => return FrameOutcome::Faulted { uop_index: i_us },
+                }
+            }
+            op => unreachable!("unexpected opcode {op} in frame"),
+        }
+    }
+
+    // Commit: stores, then live-out registers, then flags.
+    for t in &transactions {
+        if t.is_store {
+            m.store32(t.addr, t.value);
+        }
+    }
+    let commits: Vec<(replay_uop::ArchReg, u32)> = frame
+        .live_out()
+        .iter()
+        .map(|&(r, src)| {
+            let v = match src {
+                Src::LiveIn(other) => m.reg(other),
+                Src::Slot(s) => values[s as usize],
+            };
+            (r, v)
+        })
+        .collect();
+    for (r, v) in commits {
+        m.set_reg(r, v);
+    }
+    let out_flags = read_flags(m, &flag_results, frame.flags_out());
+    m.set_flags(out_flags);
+    FrameOutcome::Completed { transactions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize, AliasProfile, OptConfig};
+    use replay_frame::{Frame, FrameId};
+    use replay_uop::{ArchReg, Cond, Uop};
+
+    fn mk_frame(uops: Vec<Uop>) -> Frame {
+        let n = uops.len();
+        Frame {
+            id: FrameId(0),
+            start_addr: 0,
+            uops,
+            x86_addrs: vec![0],
+            block_starts: vec![0],
+            expectations: vec![],
+            exit_next: 0,
+            orig_uop_count: n,
+        }
+    }
+
+    fn raw(frame: &Frame) -> OptFrame {
+        let mut f = OptFrame::from_frame(frame);
+        f.compact();
+        f
+    }
+
+    #[test]
+    fn completes_and_commits() {
+        let frame = mk_frame(vec![
+            Uop::alu_imm(Opcode::Add, ArchReg::Eax, ArchReg::Eax, 5),
+            Uop::store(ArchReg::Esp, -4, ArchReg::Eax),
+        ]);
+        let f = raw(&frame);
+        let mut m = MachineState::new();
+        m.set_reg(ArchReg::Eax, 37);
+        m.set_reg(ArchReg::Esp, 0x1000);
+        let out = exec_frame(&f, &mut m);
+        assert!(matches!(out, FrameOutcome::Completed { .. }));
+        assert_eq!(m.reg(ArchReg::Eax), 42);
+        assert_eq!(m.load32(0xffc), 42);
+    }
+
+    #[test]
+    fn assert_fire_rolls_back() {
+        let frame = mk_frame(vec![
+            Uop::mov_imm(ArchReg::Eax, 1),
+            Uop::store(ArchReg::Esp, 0, ArchReg::Eax),
+            Uop::cmp_imm(ArchReg::Ebx, 7),
+            Uop::assert_cc(Cond::Eq),
+        ]);
+        let f = raw(&frame);
+        let mut m = MachineState::new();
+        m.set_reg(ArchReg::Esp, 0x1000);
+        m.set_reg(ArchReg::Ebx, 8); // assert will fire
+        m.set_reg(ArchReg::Eax, 99);
+        let out = exec_frame(&f, &mut m);
+        assert_eq!(out, FrameOutcome::AssertFired { uop_index: 3 });
+        assert_eq!(m.reg(ArchReg::Eax), 99, "no register commit");
+        assert_eq!(m.load32(0x1000), 0, "no memory commit");
+    }
+
+    #[test]
+    fn loads_see_frame_stores() {
+        let frame = mk_frame(vec![
+            Uop::store(ArchReg::Esp, 0, ArchReg::Ebp),
+            Uop::load(ArchReg::Eax, ArchReg::Esp, 0),
+        ]);
+        let f = raw(&frame);
+        let mut m = MachineState::new();
+        m.set_reg(ArchReg::Esp, 0x2000);
+        m.set_reg(ArchReg::Ebp, 1234);
+        m.store32(0x2000, 5678); // stale memory value
+        let out = exec_frame(&f, &mut m);
+        assert!(matches!(out, FrameOutcome::Completed { .. }));
+        assert_eq!(m.reg(ArchReg::Eax), 1234, "store buffer bypass");
+    }
+
+    #[test]
+    fn unsafe_conflict_aborts() {
+        // Frame with an unsafe store that dynamically aliases the earlier
+        // transaction: [ESP-4] then [EDI] with EDI == ESP-4.
+        let frame = mk_frame(vec![
+            Uop::store(ArchReg::Esp, -4, ArchReg::Ebp).at(1),
+            Uop::store(ArchReg::Edi, 0, ArchReg::Ebx).at(2),
+            Uop::load(ArchReg::Ecx, ArchReg::Esp, -4).at(3),
+        ]);
+        let (f, stats) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
+        assert_eq!(stats.store_forwards, 1);
+        assert_eq!(stats.unsafe_stores, 1);
+
+        let mut m = MachineState::new();
+        m.set_reg(ArchReg::Esp, 0x1000);
+        m.set_reg(ArchReg::Edi, 0x1000 - 4); // aliases!
+        m.set_reg(ArchReg::Ebp, 7);
+        m.set_reg(ArchReg::Ebx, 9);
+        let out = exec_frame(&f, &mut m);
+        assert!(
+            matches!(out, FrameOutcome::UnsafeConflict { .. }),
+            "got {out:?}"
+        );
+        assert_eq!(m.load32(0xffc), 0, "aborted frame commits nothing");
+
+        // Same frame with a non-aliasing EDI completes, and the forwarded
+        // ECX equals EBP even though the load was removed.
+        let mut m = MachineState::new();
+        m.set_reg(ArchReg::Esp, 0x1000);
+        m.set_reg(ArchReg::Edi, 0x8000);
+        m.set_reg(ArchReg::Ebp, 7);
+        m.set_reg(ArchReg::Ebx, 9);
+        let out = exec_frame(&f, &mut m);
+        assert!(matches!(out, FrameOutcome::Completed { .. }));
+        assert_eq!(m.reg(ArchReg::Ecx), 7);
+        assert_eq!(m.load32(0x8000), 9);
+    }
+
+    #[test]
+    fn fault_aborts() {
+        let frame = mk_frame(vec![Uop::alu(
+            Opcode::Div,
+            ArchReg::Eax,
+            ArchReg::Eax,
+            ArchReg::Ebx,
+        )]);
+        let f = raw(&frame);
+        let mut m = MachineState::new();
+        m.set_reg(ArchReg::Eax, 10);
+        let out = exec_frame(&f, &mut m);
+        assert_eq!(out, FrameOutcome::Faulted { uop_index: 0 });
+    }
+
+    #[test]
+    fn optimized_and_raw_frames_agree() {
+        // The paper's state-verifier property, in miniature: optimizing a
+        // frame must not change its architectural effect.
+        let frame = mk_frame(vec![
+            Uop::store(ArchReg::Esp, -4, ArchReg::Ebp),
+            Uop::lea(ArchReg::Esp, ArchReg::Esp, None, 1, -4),
+            Uop::store(ArchReg::Esp, -4, ArchReg::Ebx),
+            Uop::lea(ArchReg::Esp, ArchReg::Esp, None, 1, -4),
+            Uop::load(ArchReg::Ecx, ArchReg::Esp, 4),
+            Uop::alu(Opcode::Xor, ArchReg::Eax, ArchReg::Eax, ArchReg::Eax),
+            Uop::load(ArchReg::Edx, ArchReg::Esp, 0),
+        ]);
+        let seed = |m: &mut MachineState| {
+            m.set_reg(ArchReg::Esp, 0x9000);
+            m.set_reg(ArchReg::Ebp, 0x11);
+            m.set_reg(ArchReg::Ebx, 0x22);
+            m.set_reg(ArchReg::Eax, 0x33);
+        };
+        let mut m1 = MachineState::new();
+        seed(&mut m1);
+        exec_frame(&raw(&frame), &mut m1);
+
+        let (opt, stats) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
+        assert!(stats.removed_uops() > 0);
+        let mut m2 = MachineState::new();
+        seed(&mut m2);
+        exec_frame(&opt, &mut m2);
+
+        for r in ArchReg::GPRS {
+            assert_eq!(m1.reg(r), m2.reg(r), "{r} differs");
+        }
+        assert_eq!(m1.load32(0x9000 - 4), m2.load32(0x9000 - 4));
+        assert_eq!(m1.load32(0x9000 - 8), m2.load32(0x9000 - 8));
+    }
+}

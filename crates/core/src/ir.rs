@@ -1,0 +1,237 @@
+//! The renamed (slot-indexed) micro-operation IR.
+
+use replay_uop::{ArchReg, Cond, Opcode};
+use std::fmt;
+
+/// Index of a uop in the optimization buffer. After remapping, the uop at
+/// slot *m* writes physical register *m* (paper §4), so a slot number *is* a
+/// physical register name.
+pub type Slot = u16;
+
+/// A renamed value source: either an architectural live-in or the value
+/// produced by a buffer slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Src {
+    /// The value of an architectural register at frame entry.
+    LiveIn(ArchReg),
+    /// The value produced by the uop at this slot.
+    Slot(Slot),
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::LiveIn(r) => write!(f, "{r}.in"),
+            Src::Slot(s) => write!(f, "p{s}"),
+        }
+    }
+}
+
+/// A renamed flags source: the frame-entry flags or the flags produced by a
+/// buffer slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlagsSrc {
+    /// The architectural flags at frame entry.
+    LiveIn,
+    /// The flags written by the uop at this slot.
+    Slot(Slot),
+}
+
+/// Names one of a uop's two value-operand positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The `src_a` position (first source / memory base).
+    A,
+    /// The `src_b` position (second source / load index / store data).
+    B,
+}
+
+/// A micro-operation in renamed form (the optimizer's Figure 4 format).
+///
+/// Compared to [`replay_uop::Uop`], register sources have been resolved to
+/// [`Src`] (live-in or producer slot), the architectural destination is
+/// retained only for live-out bookkeeping, and the flags dependency of
+/// branch/assert uops is explicit in `flags_src`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptUop {
+    /// The operation.
+    pub op: Opcode,
+    /// First renamed source (base register for memory ops).
+    pub src_a: Option<Src>,
+    /// Second renamed source (index for loads, data for stores).
+    pub src_b: Option<Src>,
+    /// Immediate / displacement / shift count.
+    pub imm: i32,
+    /// Index scale for `Load`/`Lea`.
+    pub scale: u8,
+    /// Condition code for `Br`/`Assert*`.
+    pub cc: Option<Cond>,
+    /// Architectural destination, if the uop produces a value.
+    pub dst_arch: Option<ArchReg>,
+    /// True if the uop writes the architectural flags.
+    pub writes_flags: bool,
+    /// The flags producer this uop reads, for `Br`/`Assert`.
+    pub flags_src: Option<FlagsSrc>,
+    /// Branch target for `Jmp`/`Br`.
+    pub target: u32,
+    /// Address of the parent x86 instruction.
+    pub x86_addr: u32,
+    /// Valid bit: cleared when an optimization removes the uop.
+    pub valid: bool,
+    /// Marked by speculative memory optimization: at execution this store's
+    /// address must be compared against all prior memory transactions in
+    /// the frame; a match aborts the frame (§3.4).
+    pub unsafe_store: bool,
+}
+
+impl OptUop {
+    /// True if this uop is a load.
+    pub fn is_load(&self) -> bool {
+        self.op == Opcode::Load
+    }
+
+    /// True if this uop is a store.
+    pub fn is_store(&self) -> bool {
+        self.op == Opcode::Store
+    }
+
+    /// True if the uop must never be deleted by dead-code elimination:
+    /// stores, branches, assertions, and fences.
+    pub fn has_side_effect(&self) -> bool {
+        self.is_store() || self.op.is_branch() || self.op.is_assert() || self.op == Opcode::Fence
+    }
+
+    /// The operand at a position.
+    pub fn operand(&self, which: Operand) -> Option<Src> {
+        match which {
+            Operand::A => self.src_a,
+            Operand::B => self.src_b,
+        }
+    }
+
+    /// Sets the operand at a position.
+    pub fn set_operand(&mut self, which: Operand, src: Option<Src>) {
+        match which {
+            Operand::A => self.src_a = src,
+            Operand::B => self.src_b = src,
+        }
+    }
+
+    /// The symbolic memory address of a `Load`/`Store`, if any:
+    /// `(base, index, scale, disp)`. Stores are index-free by construction.
+    pub fn mem_addr(&self) -> Option<(Option<Src>, Option<Src>, u8, i32)> {
+        match self.op {
+            Opcode::Load => Some((self.src_a, self.src_b, self.scale, self.imm)),
+            Opcode::Store => Some((self.src_a, None, 1, self.imm)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OptUop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.valid {
+            write!(f, "(removed) ")?;
+        }
+        write!(f, "{}", self.op)?;
+        if let Some(cc) = self.cc {
+            write!(f, ".{cc}")?;
+        }
+        if let Some(d) = self.dst_arch {
+            write!(f, " [{d}]")?;
+        }
+        if let Some(a) = self.src_a {
+            write!(f, " {a}")?;
+        }
+        if let Some(b) = self.src_b {
+            write!(f, " {b}")?;
+        }
+        if self.imm != 0 || self.op == Opcode::MovImm {
+            write!(f, " #{}", self.imm)?;
+        }
+        if self.unsafe_store {
+            write!(f, " !unsafe")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank(op: Opcode) -> OptUop {
+        OptUop {
+            op,
+            src_a: None,
+            src_b: None,
+            imm: 0,
+            scale: 1,
+            cc: None,
+            dst_arch: None,
+            writes_flags: false,
+            flags_src: None,
+            target: 0,
+            x86_addr: 0,
+            valid: true,
+            unsafe_store: false,
+        }
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let mut u = blank(Opcode::Add);
+        u.set_operand(Operand::A, Some(Src::Slot(3)));
+        u.set_operand(Operand::B, Some(Src::LiveIn(ArchReg::Esp)));
+        assert_eq!(u.operand(Operand::A), Some(Src::Slot(3)));
+        assert_eq!(u.operand(Operand::B), Some(Src::LiveIn(ArchReg::Esp)));
+    }
+
+    #[test]
+    fn mem_addr_for_loads_and_stores() {
+        let mut ld = blank(Opcode::Load);
+        ld.src_a = Some(Src::LiveIn(ArchReg::Esp));
+        ld.src_b = Some(Src::Slot(2));
+        ld.scale = 4;
+        ld.imm = 8;
+        assert_eq!(
+            ld.mem_addr(),
+            Some((Some(Src::LiveIn(ArchReg::Esp)), Some(Src::Slot(2)), 4, 8))
+        );
+
+        let mut st = blank(Opcode::Store);
+        st.src_a = Some(Src::Slot(1));
+        st.src_b = Some(Src::Slot(0));
+        st.imm = -4;
+        // Store's data operand is not part of the address.
+        assert_eq!(st.mem_addr(), Some((Some(Src::Slot(1)), None, 1, -4)));
+
+        assert_eq!(blank(Opcode::Add).mem_addr(), None);
+    }
+
+    #[test]
+    fn side_effects() {
+        assert!(blank(Opcode::Store).has_side_effect());
+        assert!(blank(Opcode::Assert).has_side_effect());
+        assert!(blank(Opcode::Br).has_side_effect());
+        assert!(blank(Opcode::Fence).has_side_effect());
+        assert!(!blank(Opcode::Load).has_side_effect());
+        assert!(!blank(Opcode::Add).has_side_effect());
+    }
+
+    #[test]
+    fn display_marks_removed_and_unsafe() {
+        let mut u = blank(Opcode::Store);
+        u.unsafe_store = true;
+        assert!(u.to_string().contains("!unsafe"));
+        u.valid = false;
+        assert!(u.to_string().starts_with("(removed)"));
+    }
+
+    #[test]
+    fn src_ordering_and_display() {
+        assert!(Src::LiveIn(ArchReg::Eax) < Src::Slot(0));
+        assert_eq!(Src::Slot(7).to_string(), "p7");
+        assert_eq!(Src::LiveIn(ArchReg::Esp).to_string(), "ESP.in");
+    }
+}

@@ -1,0 +1,194 @@
+//! Branch bias tracking.
+//!
+//! The frame constructor only converts a branch into an assertion when the
+//! branch is *dynamically biased*: it has recently resolved in the same
+//! direction many times in a row. The bias table tracks, per branch PC, the
+//! current dominant direction and a saturating run length; indirect jumps
+//! track their dominant target address the same way.
+
+use std::collections::HashMap;
+
+/// The resolved outcome of one dynamic branch instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchOutcome {
+    /// A conditional branch resolved taken or not-taken.
+    Conditional {
+        /// True if the branch was taken.
+        taken: bool,
+    },
+    /// An indirect jump resolved to a target address.
+    Indirect {
+        /// The resolved target.
+        target: u32,
+    },
+}
+
+/// A branch's dominant direction, once established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Conditional branch biased taken or not-taken.
+    Conditional {
+        /// The dominant direction.
+        taken: bool,
+    },
+    /// Indirect jump biased toward one target.
+    Indirect {
+        /// The dominant target.
+        target: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    direction: Direction,
+    run: u32,
+}
+
+/// Tracks per-PC branch bias with saturating run counters.
+///
+/// An entry becomes *biased* once its current direction has repeated
+/// `threshold` times consecutively; any disagreement resets the run to 1 in
+/// the new direction.
+#[derive(Debug, Clone)]
+pub struct BiasTable {
+    entries: HashMap<u32, Entry>,
+    threshold: u32,
+    max_run: u32,
+}
+
+impl BiasTable {
+    /// Creates a table where a branch is biased after `threshold`
+    /// consecutive same-direction outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32) -> BiasTable {
+        assert!(threshold > 0, "threshold must be positive");
+        BiasTable {
+            entries: HashMap::new(),
+            threshold,
+            max_run: threshold.saturating_mul(4),
+        }
+    }
+
+    /// Records an outcome for the branch at `pc` and reports whether the
+    /// branch is biased *in the direction of this outcome* — i.e. whether
+    /// the frame constructor may convert this instance into an assertion.
+    pub fn record(&mut self, pc: u32, outcome: BranchOutcome) -> bool {
+        self.record_run(pc, outcome) >= self.threshold
+    }
+
+    /// Like [`BiasTable::record`], but returns the current same-direction
+    /// run length, letting callers apply stricter thresholds (e.g. for
+    /// indirect-target conversion).
+    pub fn record_run(&mut self, pc: u32, outcome: BranchOutcome) -> u32 {
+        let dir = match outcome {
+            BranchOutcome::Conditional { taken } => Direction::Conditional { taken },
+            BranchOutcome::Indirect { target } => Direction::Indirect { target },
+        };
+        let entry = self.entries.entry(pc).or_insert(Entry {
+            direction: dir,
+            run: 0,
+        });
+        if entry.direction == dir {
+            entry.run = (entry.run + 1).min(self.max_run);
+        } else {
+            entry.direction = dir;
+            entry.run = 1;
+        }
+        entry.run
+    }
+
+    /// The configured bias threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The currently established bias of the branch at `pc`, if it has
+    /// reached the threshold.
+    pub fn bias(&self, pc: u32) -> Option<Direction> {
+        self.entries
+            .get(&pc)
+            .filter(|e| e.run >= self.threshold)
+            .map(|e| e.direction)
+    }
+
+    /// Number of tracked branch PCs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no branches are tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for BiasTable {
+    /// A table with the threshold used throughout the evaluation (8).
+    fn default() -> BiasTable {
+        BiasTable::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn becomes_biased_after_threshold() {
+        let mut t = BiasTable::new(3);
+        assert!(!t.record(0x10, BranchOutcome::Conditional { taken: true }));
+        assert!(!t.record(0x10, BranchOutcome::Conditional { taken: true }));
+        assert!(t.record(0x10, BranchOutcome::Conditional { taken: true }));
+        assert_eq!(t.bias(0x10), Some(Direction::Conditional { taken: true }));
+    }
+
+    #[test]
+    fn disagreement_resets() {
+        let mut t = BiasTable::new(2);
+        t.record(0x10, BranchOutcome::Conditional { taken: true });
+        assert!(t.record(0x10, BranchOutcome::Conditional { taken: true }));
+        // Flip direction: run restarts.
+        assert!(!t.record(0x10, BranchOutcome::Conditional { taken: false }));
+        assert_eq!(t.bias(0x10), None);
+        assert!(t.record(0x10, BranchOutcome::Conditional { taken: false }));
+        assert_eq!(t.bias(0x10), Some(Direction::Conditional { taken: false }));
+    }
+
+    #[test]
+    fn indirect_targets_tracked() {
+        let mut t = BiasTable::new(2);
+        t.record(0x20, BranchOutcome::Indirect { target: 0x100 });
+        assert!(t.record(0x20, BranchOutcome::Indirect { target: 0x100 }));
+        // A different target is a different direction.
+        assert!(!t.record(0x20, BranchOutcome::Indirect { target: 0x200 }));
+    }
+
+    #[test]
+    fn pcs_are_independent() {
+        let mut t = BiasTable::new(1);
+        assert!(t.record(0x1, BranchOutcome::Conditional { taken: true }));
+        assert_eq!(t.bias(0x2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn conditional_and_indirect_do_not_mix() {
+        let mut t = BiasTable::new(2);
+        t.record(0x5, BranchOutcome::Conditional { taken: true });
+        t.record(0x5, BranchOutcome::Conditional { taken: true });
+        assert!(t.bias(0x5).is_some());
+        // Same PC observed as indirect (cannot happen in practice, but must
+        // not panic): treated as a direction change.
+        assert!(!t.record(0x5, BranchOutcome::Indirect { target: 9 }));
+        assert_eq!(t.bias(0x5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        BiasTable::new(0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The frame cache.
+
+use crate::Frame;
+use std::collections::HashMap;
+
+/// Hit/miss counters for the frame cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a frame.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Frames inserted.
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups have occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Something the [`FrameCache`] can store: any frame-like object with an
+/// entry address and a size in uop slots.
+///
+/// Implemented by [`Frame`]; the simulator also implements it for optimized
+/// frames, whose smaller `slot_cost` is what increases effective cache
+/// capacity under optimization (§6.1).
+pub trait CacheEntry {
+    /// The x86 entry address the frame is indexed by.
+    fn entry_addr(&self) -> u32;
+    /// The number of uop slots the frame occupies in the cache.
+    fn slot_cost(&self) -> usize;
+}
+
+impl CacheEntry for Frame {
+    fn entry_addr(&self) -> u32 {
+        self.start_addr
+    }
+    fn slot_cost(&self) -> usize {
+        self.uop_count()
+    }
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    frame: T,
+    last_use: u64,
+}
+
+/// An on-chip cache of constructed frames, indexed by entry address.
+///
+/// Capacity is measured in **uop slots**, matching the paper's "16K
+/// micro-operations (approximately 64 kB)" configuration: an optimized frame
+/// occupies fewer slots than its unoptimized form, so optimization increases
+/// the cache's effective capacity (§6.1). Replacement is LRU; inserting a
+/// frame whose entry address is already present replaces the old frame.
+#[derive(Debug)]
+pub struct FrameCache<T = Frame> {
+    capacity_uops: usize,
+    used_uops: usize,
+    slots: HashMap<u32, Slot<T>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl<T: CacheEntry> FrameCache<T> {
+    /// Creates a cache holding at most `capacity_uops` uop slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_uops` is zero.
+    pub fn new(capacity_uops: usize) -> FrameCache<T> {
+        assert!(capacity_uops > 0, "capacity must be positive");
+        FrameCache {
+            capacity_uops,
+            used_uops: 0,
+            slots: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured capacity in uop slots.
+    pub fn capacity_uops(&self) -> usize {
+        self.capacity_uops
+    }
+
+    /// Uop slots currently occupied.
+    pub fn used_uops(&self) -> usize {
+        self.used_uops
+    }
+
+    /// Number of resident frames.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no frames are resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Lookup statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Inserts a frame, evicting least-recently-used frames as needed.
+    ///
+    /// Frames larger than the whole cache are rejected (returns `false`).
+    pub fn insert(&mut self, frame: T) -> bool {
+        let size = frame.slot_cost();
+        if size > self.capacity_uops {
+            return false;
+        }
+        if let Some(old) = self.slots.remove(&frame.entry_addr()) {
+            self.used_uops -= old.frame.slot_cost();
+        }
+        while self.used_uops + size > self.capacity_uops {
+            let victim = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(addr, _)| *addr)
+                .expect("cache non-empty while over capacity");
+            let old = self.slots.remove(&victim).expect("victim present");
+            self.used_uops -= old.frame.slot_cost();
+            self.stats.evictions += 1;
+        }
+        self.clock += 1;
+        self.slots.insert(
+            frame.entry_addr(),
+            Slot {
+                frame,
+                last_use: self.clock,
+            },
+        );
+        self.used_uops += size;
+        self.stats.inserts += 1;
+        true
+    }
+
+    /// Looks up a frame by entry address, refreshing its LRU position.
+    pub fn lookup(&mut self, addr: u32) -> Option<&T> {
+        self.clock += 1;
+        match self.slots.get_mut(&addr) {
+            Some(slot) => {
+                slot.last_use = self.clock;
+                self.stats.hits += 1;
+                Some(&slot.frame)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks residency without touching LRU state or statistics.
+    pub fn peek(&self, addr: u32) -> Option<&T> {
+        self.slots.get(&addr).map(|s| &s.frame)
+    }
+
+    /// Removes a frame by entry address.
+    pub fn invalidate(&mut self, addr: u32) -> Option<T> {
+        let slot = self.slots.remove(&addr)?;
+        self.used_uops -= slot.frame.slot_cost();
+        Some(slot.frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrameId;
+    use replay_uop::{ArchReg, Opcode, Uop};
+
+    fn frame(addr: u32, n_uops: usize) -> Frame {
+        Frame {
+            id: FrameId(addr as u64),
+            start_addr: addr,
+            uops: vec![Uop::alu_imm(Opcode::Add, ArchReg::Eax, ArchReg::Eax, 1); n_uops],
+            x86_addrs: vec![addr],
+            block_starts: vec![0],
+            expectations: vec![],
+            exit_next: addr + 1,
+            orig_uop_count: n_uops,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = FrameCache::new(100);
+        assert!(c.insert(frame(0x10, 20)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_uops(), 20);
+        assert!(c.lookup(0x10).is_some());
+        assert!(c.lookup(0x20).is_none());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_by_uop_capacity() {
+        let mut c = FrameCache::new(50);
+        c.insert(frame(1, 20));
+        c.insert(frame(2, 20));
+        // Touch frame 1 so frame 2 is LRU.
+        c.lookup(1);
+        // 20 + 20 + 20 > 50: one eviction needed; victim must be frame 2.
+        c.insert(frame(3, 20));
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(2).is_none());
+        assert!(c.peek(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.used_uops(), 40);
+    }
+
+    #[test]
+    fn same_address_replaces() {
+        let mut c = FrameCache::new(100);
+        c.insert(frame(5, 30));
+        // A smaller (optimized) frame replaces the old one and frees slots.
+        c.insert(frame(5, 10));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_uops(), 10);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut c = FrameCache::new(10);
+        assert!(!c.insert(frame(1, 11)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_frees_space() {
+        let mut c = FrameCache::new(10);
+        c.insert(frame(1, 10));
+        assert_eq!(c.invalidate(1).map(|f| f.start_addr), Some(1));
+        assert_eq!(c.used_uops(), 0);
+        assert!(c.invalidate(1).is_none());
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = FrameCache::new(100);
+        c.insert(frame(1, 1));
+        c.lookup(1);
+        c.lookup(2);
+        c.lookup(1);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(FrameCache::<Frame>::new(1).stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        FrameCache::<Frame>::new(0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The atomic frame.
+
+use replay_uop::Uop;
+use std::fmt;
+
+/// Identifier of a constructed frame, unique within one constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u64);
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+/// A control point embedded in a frame, used by the trace-driven simulator
+/// to decide whether a dynamic execution of the frame matches the path the
+/// frame embodies.
+///
+/// When the frame was constructed, the instruction at `x86_addr` transferred
+/// control to `expected_next`. On a later fetch of the frame, if the traced
+/// execution resolves this control point differently, the assertion at
+/// `uop_index` fires and the frame rolls back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlExpectation {
+    /// Address of the original control-transfer x86 instruction.
+    pub x86_addr: u32,
+    /// The next-PC the frame's path assumes.
+    pub expected_next: u32,
+    /// Index of the corresponding assertion uop in [`Frame::uops`].
+    pub uop_index: usize,
+}
+
+/// An atomic, single-entry, single-exit region of micro-operations.
+///
+/// All control dependencies inside the frame have been removed: biased
+/// conditional branches have become `Assert` uops, biased indirect jumps
+/// have become `AssertCmp` uops against their dominant target, and the frame
+/// commits atomically (all or nothing). The final uop may be an ordinary
+/// branch — that branch is the frame's unique exit.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame identity.
+    pub id: FrameId,
+    /// x86 address of the frame's entry (first covered instruction).
+    pub start_addr: u32,
+    /// The frame body. For an unoptimized frame this is the concatenation
+    /// of the covered instructions' decode flows with branches converted to
+    /// assertions.
+    pub uops: Vec<Uop>,
+    /// Addresses of the x86 instructions the frame covers, in path order.
+    pub x86_addrs: Vec<u32>,
+    /// Uop indices at which a new basic block begins (always starts
+    /// with 0). Used for block-scope optimization experiments.
+    pub block_starts: Vec<usize>,
+    /// Embedded control points (one per assertion).
+    pub expectations: Vec<ControlExpectation>,
+    /// The address execution continues at when the frame completes without
+    /// firing an assertion (the frame-construction-time observation).
+    pub exit_next: u32,
+    /// Number of uops before any optimization (for removal statistics).
+    pub orig_uop_count: usize,
+}
+
+impl Frame {
+    /// Number of x86 instructions the frame covers.
+    pub fn x86_count(&self) -> usize {
+        self.x86_addrs.len()
+    }
+
+    /// Number of uops currently in the frame.
+    pub fn uop_count(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Number of basic blocks merged into the frame.
+    pub fn block_count(&self) -> usize {
+        self.block_starts.len()
+    }
+
+    /// Number of load uops currently in the frame.
+    pub fn load_count(&self) -> usize {
+        self.uops.iter().filter(|u| u.is_load()).count()
+    }
+
+    /// The basic-block index of the uop at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn block_of(&self, idx: usize) -> usize {
+        assert!(idx < self.uops.len(), "uop index out of range");
+        match self.block_starts.binary_search(&idx) {
+            Ok(b) => b,
+            Err(b) => b - 1,
+        }
+    }
+
+    /// Renders the frame as one uop per line, in the paper's notation.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, u) in self.uops.iter().enumerate() {
+            let _ = writeln!(s, "{i:02} {u}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replay_uop::{ArchReg, Cond};
+
+    fn sample() -> Frame {
+        Frame {
+            id: FrameId(1),
+            start_addr: 0x1000,
+            uops: vec![
+                Uop::store(ArchReg::Esp, -4, ArchReg::Ebp),
+                Uop::lea(ArchReg::Esp, ArchReg::Esp, None, 1, -4),
+                Uop::assert_cc(Cond::Eq),
+                Uop::load(ArchReg::Ebx, ArchReg::Esp, 0),
+            ],
+            x86_addrs: vec![0x1000, 0x1001, 0x1007],
+            block_starts: vec![0, 3],
+            expectations: vec![ControlExpectation {
+                x86_addr: 0x1001,
+                expected_next: 0x1007,
+                uop_index: 2,
+            }],
+            exit_next: 0x1010,
+            orig_uop_count: 4,
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let f = sample();
+        assert_eq!(f.x86_count(), 3);
+        assert_eq!(f.uop_count(), 4);
+        assert_eq!(f.block_count(), 2);
+        assert_eq!(f.load_count(), 1);
+    }
+
+    #[test]
+    fn block_of_maps_uops_to_blocks() {
+        let f = sample();
+        assert_eq!(f.block_of(0), 0);
+        assert_eq!(f.block_of(2), 0);
+        assert_eq!(f.block_of(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_of_out_of_range() {
+        sample().block_of(4);
+    }
+
+    #[test]
+    fn listing_is_numbered() {
+        let l = sample().listing();
+        assert!(l.starts_with("00 [ESP - 04H] <- EBP"));
+        assert!(l.contains("02 assert Z"));
+    }
+}

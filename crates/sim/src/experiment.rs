@@ -1,0 +1,348 @@
+//! Experiment drivers: one function per table / figure of the paper.
+//!
+//! Every driver runs the synthetic workload suite through the relevant
+//! configurations and returns structured rows that the benchmark harnesses
+//! print. The traces are generated once per workload and shared across
+//! configurations, so comparisons are paired.
+
+use crate::{simulate, ConfigKind, SimConfig, SimResult};
+use replay_core::OptConfig;
+use replay_timing::CycleBin;
+use replay_trace::{workloads, Suite, Trace, Workload};
+
+/// Runs one workload (all its trace segments) through one configuration
+/// and aggregates the per-segment results.
+pub fn run_workload_config(traces: &[Trace], name: &str, cfg: &SimConfig) -> SimResult {
+    assert!(!traces.is_empty(), "workload has no traces");
+    let mut merged: Option<SimResult> = None;
+    for t in traces {
+        let r = simulate(t, cfg);
+        match &mut merged {
+            Some(m) => m.merge(&r),
+            None => merged = Some(r),
+        }
+    }
+    let mut result = merged.expect("at least one trace");
+    result.workload = name.to_string();
+    result
+}
+
+/// A row of the Figure 6 IPC comparison.
+#[derive(Debug, Clone)]
+pub struct IpcRow {
+    /// Workload name.
+    pub name: String,
+    /// Suite membership.
+    pub suite: Suite,
+    /// IPC for each configuration, in [`ConfigKind::ALL`] order
+    /// (IC, TC, RP, RPO).
+    pub ipc: [f64; 4],
+    /// Percent IPC increase of RPO over RP (the number printed above the
+    /// RPO bars in the paper).
+    pub rpo_gain_pct: f64,
+    /// Frame coverage under RP.
+    pub coverage: f64,
+    /// Fraction of cycles lost to assertions under RPO.
+    pub assert_cycle_frac: f64,
+}
+
+/// Figure 6: estimated x86 instructions retired per cycle for the ICache,
+/// Trace-Cache, rePLay, and rePLay+Optimization configurations, plus the
+/// §6.1 side observations (coverage, assert cycles).
+pub fn ipc_comparison(scale: usize) -> Vec<IpcRow> {
+    workloads::all().iter().map(|w| ipc_row(w, scale)).collect()
+}
+
+/// One workload's Figure 6 row.
+pub fn ipc_row(w: &Workload, scale: usize) -> IpcRow {
+    let traces = w.traces_scaled(scale);
+    let mut ipc = [0.0f64; 4];
+    let mut coverage = 0.0;
+    let mut assert_frac = 0.0;
+    let mut rp = 0.0;
+    let mut rpo = 0.0;
+    for (i, kind) in ConfigKind::ALL.into_iter().enumerate() {
+        let r = run_workload_config(&traces, w.name, &SimConfig::new(kind).without_verify());
+        ipc[i] = r.ipc();
+        match kind {
+            ConfigKind::Replay => {
+                coverage = r.coverage;
+                rp = r.ipc();
+            }
+            ConfigKind::ReplayOpt => {
+                assert_frac = r.bins.fraction(CycleBin::Assert);
+                rpo = r.ipc();
+            }
+            _ => {}
+        }
+    }
+    IpcRow {
+        name: w.name.to_string(),
+        suite: w.suite,
+        ipc,
+        rpo_gain_pct: if rp > 0.0 {
+            (rpo / rp - 1.0) * 100.0
+        } else {
+            0.0
+        },
+        coverage,
+        assert_cycle_frac: assert_frac,
+    }
+}
+
+/// A row of the Figures 7/8 cycle breakdown: RP and RPO bins side by side.
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Workload name.
+    pub name: String,
+    /// Suite membership.
+    pub suite: Suite,
+    /// RP cycle bins.
+    pub rp: replay_timing::CycleBins,
+    /// RPO cycle bins.
+    pub rpo: replay_timing::CycleBins,
+}
+
+/// Figures 7 (SPEC) and 8 (desktop): per-benchmark execution cycles for
+/// the RP and RPO configurations, classified by fetch event.
+pub fn cycle_breakdown(suite: Suite, scale: usize) -> Vec<BreakdownRow> {
+    workloads::all()
+        .iter()
+        .filter(|w| w.suite == suite)
+        .map(|w| {
+            let traces = w.traces_scaled(scale);
+            let rp = run_workload_config(
+                &traces,
+                w.name,
+                &SimConfig::new(ConfigKind::Replay).without_verify(),
+            );
+            let rpo = run_workload_config(
+                &traces,
+                w.name,
+                &SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
+            );
+            BreakdownRow {
+                name: w.name.to_string(),
+                suite: w.suite,
+                rp: rp.bins,
+                rpo: rpo.bins,
+            }
+        })
+        .collect()
+}
+
+/// A row of Table 3.
+#[derive(Debug, Clone)]
+pub struct RemovalRow {
+    /// Workload name.
+    pub name: String,
+    /// Fraction of dynamic uops removed by the optimizer.
+    pub uops_removed: f64,
+    /// Fraction of dynamic loads removed.
+    pub loads_removed: f64,
+    /// Percent IPC increase of RPO over RP.
+    pub ipc_increase_pct: f64,
+}
+
+/// Table 3: the percentage of micro-operations and loads removed by the
+/// rePLay optimizer, and the resulting IPC increase.
+pub fn removal_table(scale: usize) -> Vec<RemovalRow> {
+    workloads::all()
+        .iter()
+        .map(|w| {
+            let traces = w.traces_scaled(scale);
+            let rp = run_workload_config(
+                &traces,
+                w.name,
+                &SimConfig::new(ConfigKind::Replay).without_verify(),
+            );
+            let rpo = run_workload_config(
+                &traces,
+                w.name,
+                &SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
+            );
+            RemovalRow {
+                name: w.name.to_string(),
+                uops_removed: rpo.uop_removal(),
+                loads_removed: rpo.load_removal(),
+                ipc_increase_pct: if rp.ipc() > 0.0 {
+                    (rpo.ipc() / rp.ipc() - 1.0) * 100.0
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Averages a column of [`RemovalRow`]s.
+pub fn removal_averages(rows: &[RemovalRow]) -> (f64, f64, f64) {
+    let n = rows.len().max(1) as f64;
+    (
+        rows.iter().map(|r| r.uops_removed).sum::<f64>() / n,
+        rows.iter().map(|r| r.loads_removed).sum::<f64>() / n,
+        rows.iter().map(|r| r.ipc_increase_pct).sum::<f64>() / n,
+    )
+}
+
+/// A row of the Figure 9 scope comparison.
+#[derive(Debug, Clone)]
+pub struct ScopeRow {
+    /// Workload name.
+    pub name: String,
+    /// Percent IPC speedup of block-scope optimization over RP.
+    pub block_pct: f64,
+    /// Percent IPC speedup of frame-scope optimization over RP.
+    pub frame_pct: f64,
+}
+
+/// Figure 9: percent IPC increase when frames are optimized only within
+/// individual basic blocks versus as a unit.
+pub fn scope_comparison(scale: usize) -> Vec<ScopeRow> {
+    workloads::all()
+        .iter()
+        .map(|w| {
+            let traces = w.traces_scaled(scale);
+            let rp = run_workload_config(
+                &traces,
+                w.name,
+                &SimConfig::new(ConfigKind::Replay).without_verify(),
+            );
+            let block = run_workload_config(
+                &traces,
+                w.name,
+                &SimConfig::new(ConfigKind::ReplayOpt)
+                    .with_opt(OptConfig::block_scope())
+                    .without_verify(),
+            );
+            let frame = run_workload_config(
+                &traces,
+                w.name,
+                &SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
+            );
+            let pct = |x: &SimResult| {
+                if rp.ipc() > 0.0 {
+                    (x.ipc() / rp.ipc() - 1.0) * 100.0
+                } else {
+                    0.0
+                }
+            };
+            ScopeRow {
+                name: w.name.to_string(),
+                block_pct: pct(&block),
+                frame_pct: pct(&frame),
+            }
+        })
+        .collect()
+}
+
+/// The Figure 10 leave-one-out labels, in the paper's legend order.
+pub const ABLATION_LABELS: [&str; 6] = ["ASST", "CP", "CSE", "NOP", "RA", "SF"];
+
+/// The five applications the paper plots in Figure 10.
+pub const ABLATION_APPS: [&str; 5] = ["bzip2", "crafty", "vortex", "dream", "excel"];
+
+/// A row of the Figure 10 ablation: IPC of each leave-one-out trial on the
+/// paper's 0(=RP)..1(=RPO) relative scale.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Workload name.
+    pub name: String,
+    /// Relative IPC with each optimization disabled, in
+    /// [`ABLATION_LABELS`] order: 0 = RP performance, 1 = full RPO.
+    pub relative: [f64; 6],
+    /// Absolute IPC of the RP baseline.
+    pub rp_ipc: f64,
+    /// Absolute IPC of full RPO.
+    pub rpo_ipc: f64,
+    /// Where full RPO lands on the same relative scale (exactly 1.0 unless
+    /// the normalization floor engaged because RPO ≈ RP).
+    pub rpo_relative: f64,
+}
+
+/// Figure 10: the performance impact of disabling each optimization
+/// individually (dead-code elimination always stays enabled).
+pub fn ablation(apps: &[&str], scale: usize) -> Vec<AblationRow> {
+    apps.iter()
+        .map(|name| {
+            let w = workloads::by_name(name).expect("known workload");
+            let traces = w.traces_scaled(scale);
+            let rp = run_workload_config(
+                &traces,
+                w.name,
+                &SimConfig::new(ConfigKind::Replay).without_verify(),
+            )
+            .ipc();
+            let rpo = run_workload_config(
+                &traces,
+                w.name,
+                &SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
+            )
+            .ipc();
+            // Guard the normalization: when optimization is near-neutral
+            // on an application (as on excel, where speculative aborts eat
+            // the gains), the raw span would explode the relative scale.
+            let span = (rpo - rp).abs().max(0.03 * rp).max(1e-9);
+            let mut relative = [0.0f64; 6];
+            for (i, label) in ABLATION_LABELS.iter().enumerate() {
+                let r = run_workload_config(
+                    &traces,
+                    w.name,
+                    &SimConfig::new(ConfigKind::ReplayOpt)
+                        .with_opt(OptConfig::without(label))
+                        .without_verify(),
+                );
+                relative[i] = (r.ipc() - rp) / span;
+            }
+            AblationRow {
+                name: w.name.to_string(),
+                relative,
+                rp_ipc: rp,
+                rpo_ipc: rpo,
+                rpo_relative: (rpo - rp) / span,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_row_has_all_configs() {
+        let w = workloads::by_name("eon").unwrap();
+        let row = ipc_row(&w, 4_000);
+        assert!(row.ipc.iter().all(|&v| v > 0.0), "{:?}", row.ipc);
+        assert!(row.coverage > 0.0);
+    }
+
+    #[test]
+    fn removal_averages_compute() {
+        let rows = vec![
+            RemovalRow {
+                name: "a".into(),
+                uops_removed: 0.2,
+                loads_removed: 0.3,
+                ipc_increase_pct: 10.0,
+            },
+            RemovalRow {
+                name: "b".into(),
+                uops_removed: 0.4,
+                loads_removed: 0.1,
+                ipc_increase_pct: 30.0,
+            },
+        ];
+        let (u, l, i) = removal_averages(&rows);
+        assert!((u - 0.3).abs() < 1e-12);
+        assert!((l - 0.2).abs() < 1e-12);
+        assert!((i - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablation_rows_cover_labels() {
+        let rows = ablation(&["bzip2"], 3_000);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].relative.len(), ABLATION_LABELS.len());
+    }
+}

@@ -1,0 +1,166 @@
+//! The Micro-Op Injector: translation and golden-state maintenance.
+
+use replay_trace::{Trace, TraceRecord};
+use replay_uop::{ArchReg, Flags, MachineState, Uop};
+use replay_x86::translate;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The injector of Figure 5: translates trace records into uop flows
+/// (cached per static instruction) and maintains the *golden* architectural
+/// machine state along the trace — the state the verifier and the frame
+/// executor consult at every point.
+#[derive(Debug, Default)]
+pub struct Injector {
+    flows: HashMap<u32, Rc<Vec<Uop>>>,
+    golden: MachineState,
+    x86_seen: u64,
+    uops_seen: u64,
+    loads_seen: u64,
+}
+
+impl Injector {
+    /// Creates an injector with a pristine machine state.
+    pub fn new() -> Injector {
+        Injector::default()
+    }
+
+    /// Seeds the golden memory with the *first-touch* value of every
+    /// location the trace will access — the paper's initial memory map
+    /// (§5.1.3), extended to the whole trace.
+    ///
+    /// Frames run ahead of retirement: a frame fetched at record *i* may
+    /// load a location whose first trace access happens at record *i + k*.
+    /// Without pre-seeding, such loads would observe zeros and the frame's
+    /// assertions would mis-resolve.
+    pub fn preseed(&mut self, trace: &Trace) {
+        for r in ArchReg::ALL {
+            self.golden.set_reg(r, trace.init_regs[r.index()]);
+        }
+        self.golden.set_flags(Flags::from_bits(trace.init_flags));
+        let mut seen = std::collections::HashSet::new();
+        for r in trace.records() {
+            for &(addr, value) in r.mem_reads.iter().chain(r.mem_writes.iter()) {
+                if seen.insert(addr) {
+                    self.golden.store32(addr, value);
+                }
+            }
+        }
+    }
+
+    /// The uop decode flow of a record's instruction (cached by address).
+    pub fn flow(&mut self, r: &TraceRecord) -> Rc<Vec<Uop>> {
+        match self.flows.get(&r.addr) {
+            Some(f) => Rc::clone(f),
+            None => {
+                let f = Rc::new(translate(&r.inst, r.addr, r.fallthrough()));
+                self.flows.insert(r.addr, Rc::clone(&f));
+                f
+            }
+        }
+    }
+
+    /// The golden machine state as of every record applied so far.
+    pub fn golden(&self) -> &MachineState {
+        &self.golden
+    }
+
+    /// Applies one record's architectural effects to the golden state and
+    /// accounts it.
+    pub fn apply(&mut self, r: &TraceRecord) {
+        // Load values reflect what memory held: seeding them keeps the
+        // golden memory consistent even for locations initialized outside
+        // the trace (the paper's "load data is used by the verifier to
+        // perform the load operations").
+        for &(addr, value) in &r.mem_reads {
+            self.golden.store32(addr, value);
+        }
+        for &(addr, value) in &r.mem_writes {
+            self.golden.store32(addr, value);
+        }
+        for &(reg, value) in &r.reg_writes {
+            if let Some(reg) = ArchReg::from_index(reg as usize) {
+                self.golden.set_reg(reg, value);
+            }
+        }
+        self.golden.set_flags(Flags::from_bits(r.flags_after));
+        self.x86_seen += 1;
+        if let Some(f) = self.flows.get(&r.addr) {
+            self.uops_seen += f.len() as u64;
+            self.loads_seen += f.iter().filter(|u| u.is_load()).count() as u64;
+        }
+    }
+
+    /// Dynamic x86 instructions applied.
+    pub fn x86_seen(&self) -> u64 {
+        self.x86_seen
+    }
+
+    /// Dynamic uops injected (over applied records with cached flows).
+    pub fn uops_seen(&self) -> u64 {
+        self.uops_seen
+    }
+
+    /// Dynamic load uops injected.
+    pub fn loads_seen(&self) -> u64 {
+        self.loads_seen
+    }
+
+    /// The dynamic uop-per-x86 ratio observed.
+    pub fn uop_ratio(&self) -> f64 {
+        if self.x86_seen == 0 {
+            0.0
+        } else {
+            self.uops_seen as f64 / self.x86_seen as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replay_trace::workloads;
+
+    #[test]
+    fn flows_are_cached_and_state_tracks() {
+        let trace = workloads::by_name("gzip").unwrap().segment_trace(0, 2_000);
+        let mut inj = Injector::new();
+        for r in trace.records() {
+            let f1 = inj.flow(r);
+            let f2 = inj.flow(r);
+            assert!(Rc::ptr_eq(&f1, &f2), "flow cached");
+            inj.apply(r);
+        }
+        assert_eq!(inj.x86_seen(), trace.len() as u64);
+        assert!(inj.uop_ratio() > 1.0 && inj.uop_ratio() < 2.0);
+    }
+
+    #[test]
+    fn golden_state_matches_interpreter() {
+        use replay_x86::Interp;
+        let w = workloads::by_name("eon").unwrap();
+        let (program, data) = w.segment_program(0);
+        let mut interp = Interp::new(program);
+        for (addr, bytes) in &data {
+            interp.machine.mem.write_bytes(*addr, bytes);
+        }
+        let steps = interp.run(1_500).unwrap();
+        let trace = replay_trace::Trace::new(
+            "t",
+            steps
+                .iter()
+                .map(replay_trace::TraceRecord::from_step)
+                .collect(),
+        );
+        let mut inj = Injector::new();
+        for r in trace.records() {
+            inj.flow(r);
+            inj.apply(r);
+        }
+        // The golden registers equal the interpreter's final registers.
+        for r in ArchReg::GPRS {
+            assert_eq!(inj.golden().reg(r), interp.machine.reg(r), "{r} diverged");
+        }
+        assert_eq!(inj.golden().flags(), interp.machine.flags());
+    }
+}

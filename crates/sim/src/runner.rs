@@ -1,0 +1,465 @@
+//! The simulation driver: one trace through one configuration.
+
+use crate::{ConfigKind, Injector, SimConfig, SimResult, TraceEntry, TraceFiller};
+use replay_core::{
+    exec_frame, optimize, AliasProfile, FrameOutcome, OptFrame, OptStats, OptimizerDatapath,
+};
+use replay_frame::{CacheEntry, FrameCache, FrameConstructor, RetireEvent};
+use replay_timing::{FetchPath, FrameFetch, Pipeline, X86Fetch};
+use replay_trace::{Trace, TraceRecord};
+use replay_verify::Verifier;
+use replay_x86::Inst;
+use std::collections::{HashMap, VecDeque};
+
+/// A frame as stored in the frame cache: the (possibly optimized) renamed
+/// form, costing its *post-optimization* uop count in cache slots — the
+/// capacity benefit of optimization (§6.1).
+#[derive(Debug, Clone)]
+struct CachedFrame {
+    opt: OptFrame,
+}
+
+impl CacheEntry for CachedFrame {
+    fn entry_addr(&self) -> u32 {
+        self.opt.start_addr
+    }
+    fn slot_cost(&self) -> usize {
+        self.opt.uop_count()
+    }
+}
+
+/// How many recent records feed the alias profiler.
+const ALIAS_WINDOW: usize = 512;
+
+struct Runner<'a> {
+    cfg: &'a SimConfig,
+    records: &'a [TraceRecord],
+    pipeline: Pipeline,
+    injector: Injector,
+    constructor: FrameConstructor,
+    frame_cache: FrameCache<CachedFrame>,
+    tc_cache: FrameCache<TraceEntry>,
+    filler: TraceFiller,
+    datapath: OptimizerDatapath<CachedFrame>,
+    profile: AliasProfile,
+    verifier: Verifier,
+    opt_stats: OptStats,
+    frames_x86: u64,
+    path_mismatch_completions: u64,
+    dyn_uops_removed: u64,
+    dyn_loads_removed: u64,
+    recent_mem: VecDeque<(u32, Vec<u32>)>,
+}
+
+impl<'a> Runner<'a> {
+    fn new(trace: &'a Trace, cfg: &'a SimConfig) -> Runner<'a> {
+        let cache_slots = cfg.timing.frame_cache_uops.max(1);
+        let mut injector = Injector::new();
+        injector.preseed(trace);
+        Runner {
+            cfg,
+            records: trace.records(),
+            pipeline: Pipeline::new(cfg.timing.clone()),
+            injector,
+            constructor: FrameConstructor::new(cfg.constructor.clone()),
+            frame_cache: FrameCache::new(cache_slots),
+            tc_cache: FrameCache::new(cache_slots),
+            filler: TraceFiller::new(),
+            datapath: OptimizerDatapath::new(cfg.datapath),
+            profile: AliasProfile::new(),
+            verifier: Verifier::new(),
+            opt_stats: OptStats::default(),
+            frames_x86: 0,
+            path_mismatch_completions: 0,
+            dyn_uops_removed: 0,
+            dyn_loads_removed: 0,
+            recent_mem: VecDeque::new(),
+        }
+    }
+
+    /// Fetches one record through the decoder path.
+    fn fetch_via_decoder(&mut self, idx: usize, path: FetchPath) {
+        let r = &self.records[idx];
+        let flow = self.injector.flow(r);
+        let fetch = X86Fetch {
+            addr: r.addr,
+            uops: &flow,
+            taken: r.taken(),
+            indirect_target: matches!(r.inst, Inst::Ret | Inst::JmpInd { .. }).then_some(r.next_pc),
+            redirects_fetch: r.next_pc != r.fallthrough(),
+            load_addr: r.mem_reads.first().map(|t| t.0),
+            store_addr: r.mem_writes.first().map(|t| t.0),
+            path,
+        };
+        self.pipeline.fetch_x86(&fetch);
+    }
+
+    /// Retires one record architecturally: feeds the frame constructor /
+    /// fill unit and advances the golden machine state.
+    fn consume(&mut self, idx: usize) {
+        let r = &self.records[idx];
+        let flow = self.injector.flow(r);
+
+        if self.cfg.kind.uses_frames() {
+            let ev = RetireEvent {
+                addr: r.addr,
+                uops: &flow,
+                next_pc: r.next_pc,
+                fallthrough: r.fallthrough(),
+            };
+            if let Some(frame) = self.constructor.retire(&ev) {
+                self.handle_new_frame(frame);
+            }
+        }
+        if self.cfg.kind == ConfigKind::TraceCache {
+            let ends = matches!(r.inst, Inst::Ret | Inst::JmpInd { .. } | Inst::LongFlow);
+            if let Some(t) = self
+                .filler
+                .retire(r.addr, flow.len(), r.taken().is_some(), ends)
+            {
+                self.tc_cache.insert(t);
+            }
+        }
+
+        // Alias-profile window.
+        if self.cfg.kind == ConfigKind::ReplayOpt {
+            let addrs: Vec<u32> = r
+                .mem_reads
+                .iter()
+                .chain(r.mem_writes.iter())
+                .map(|t| t.0)
+                .collect();
+            self.recent_mem.push_back((r.addr, addrs));
+            if self.recent_mem.len() > ALIAS_WINDOW {
+                self.recent_mem.pop_front();
+            }
+        }
+
+        self.injector.apply(r);
+    }
+
+    /// Records aliasing events observed within the span of a just-built
+    /// frame (§3.4: "we record aliasing events during execution and pass
+    /// this information to the optimizer").
+    fn profile_span(&mut self, span_records: usize) {
+        // All pairs of distinct instructions that touched the same address
+        // within the span: the optimizer checks arbitrary (store, load) and
+        // (store, store) combinations, so partial pair sets would let it
+        // keep re-speculating on already-observed aliases.
+        let mut touchers: HashMap<u32, Vec<u32>> = HashMap::new();
+        let start = self.recent_mem.len().saturating_sub(span_records);
+        for (x86, addrs) in self.recent_mem.iter().skip(start) {
+            for &a in addrs {
+                let list = touchers.entry(a).or_default();
+                if !list.contains(x86) {
+                    for &other in list.iter() {
+                        self.profile.record(other, *x86);
+                    }
+                    if list.len() < 16 {
+                        list.push(*x86);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Optimizes (or merely remaps) a newly constructed frame and routes
+    /// it toward the frame cache.
+    fn handle_new_frame(&mut self, frame: replay_frame::Frame) {
+        let now = self.pipeline.cycles();
+        match self.cfg.kind {
+            ConfigKind::ReplayOpt => {
+                self.profile_span(frame.x86_count());
+                let (opt, stats) = optimize(&frame, &self.profile, &self.cfg.opt);
+                self.opt_stats += stats;
+                if self.cfg.verify {
+                    let mut raw = OptFrame::from_frame(&frame);
+                    raw.compact();
+                    self.verifier.check(&raw, &opt, self.injector.golden());
+                }
+                // Frames become visible only after the optimizer datapath's
+                // pipelined latency (10 cycles per uop).
+                self.datapath
+                    .offer(CachedFrame { opt }, frame.orig_uop_count, now);
+            }
+            _ => {
+                // Basic rePLay: frames go straight into the cache (§6.3).
+                let mut opt = OptFrame::from_frame(&frame);
+                opt.compact();
+                self.opt_stats += OptStats {
+                    uops_before: opt.uop_count() as u64,
+                    uops_after: opt.uop_count() as u64,
+                    loads_before: opt.load_count() as u64,
+                    loads_after: opt.load_count() as u64,
+                    ..OptStats::default()
+                };
+                self.frame_cache.insert(CachedFrame { opt });
+            }
+        }
+    }
+
+    /// Fetches one dynamic instance of a cached frame starting at record
+    /// `i`. Returns the number of records consumed.
+    fn fetch_frame_instance(&mut self, opt: &OptFrame, i: usize) -> usize {
+        let n = opt.x86_count();
+        let mut snapshot = self.injector.golden().clone();
+        let outcome = exec_frame(opt, &mut snapshot);
+        let path_ok = (0..n)
+            .all(|j| i + j < self.records.len() && self.records[i + j].addr == opt.x86_addrs[j]);
+
+        if path_ok {
+            if let FrameOutcome::Completed { transactions } = &outcome {
+                let mut mem_addrs = vec![None; opt.len()];
+                for t in transactions {
+                    mem_addrs[t.uop_index] = Some(t.addr);
+                }
+                let exit_rec = &self.records[i + n - 1];
+                self.pipeline.fetch_frame(&FrameFetch {
+                    frame: opt,
+                    mem_addrs: &mem_addrs,
+                    fails_at: None,
+                    exit_taken: exit_rec.taken(),
+                    exit_indirect: matches!(exit_rec.inst, Inst::Ret | Inst::JmpInd { .. })
+                        .then_some(exit_rec.next_pc),
+                });
+                self.frames_x86 += n as u64;
+                self.dyn_uops_removed +=
+                    (opt.orig_uop_count.saturating_sub(opt.uop_count())) as u64;
+                self.dyn_loads_removed +=
+                    (opt.orig_load_count.saturating_sub(opt.load_count())) as u64;
+                for j in 0..n {
+                    self.consume(i + j);
+                }
+                return n;
+            }
+        }
+
+        // The frame fails for this instance: assertion fire, unsafe-store
+        // conflict, fault, or (rarely) a divergence the optimizer proved
+        // away. Charge the pessimistic recovery, then refetch the original
+        // instructions from the ICache along the *actual* path.
+        if std::env::var_os("REPLAY_DEBUG_ABORTS").is_some() {
+            if let FrameOutcome::AssertFired { uop_index } = outcome {
+                let u = opt.slot(uop_index as replay_core::Slot);
+                eprintln!(
+                    "abort: {} @x86 {:#x} frame {:#x}",
+                    u, u.x86_addr, opt.start_addr
+                );
+            }
+        }
+        let fails_at = match outcome {
+            FrameOutcome::AssertFired { uop_index } => uop_index,
+            FrameOutcome::UnsafeConflict {
+                uop_index,
+                conflicts_with,
+            } => {
+                let a = opt.slot(uop_index as replay_core::Slot).x86_addr;
+                let b = opt.slot(conflicts_with as replay_core::Slot).x86_addr;
+                self.profile.record(a, b);
+                uop_index
+            }
+            FrameOutcome::Faulted { uop_index } => uop_index,
+            FrameOutcome::Completed { .. } => {
+                self.path_mismatch_completions += 1;
+                opt.len().saturating_sub(1)
+            }
+        };
+        let mem_addrs = vec![None; opt.len()];
+        self.pipeline.fetch_frame(&FrameFetch {
+            frame: opt,
+            mem_addrs: &mem_addrs,
+            fails_at: Some(fails_at),
+            exit_taken: None,
+            exit_indirect: None,
+        });
+        // A frame that just rolled back is stale for the current program
+        // behaviour: drop it. The constructor rebuilds a frame for this
+        // region if it is still hot (with the offending branch no longer
+        // converted, since its bias run was just broken).
+        self.frame_cache.invalidate(opt.start_addr);
+        let mut j = 0;
+        while j < n && i + j < self.records.len() && self.records[i + j].addr == opt.x86_addrs[j] {
+            self.fetch_via_decoder(i + j, FetchPath::ICache);
+            self.consume(i + j);
+            j += 1;
+        }
+        j.max(1)
+    }
+
+    fn run(mut self) -> SimResult {
+        let mut i = 0usize;
+        while i < self.records.len() {
+            if self.cfg.kind == ConfigKind::ReplayOpt {
+                let now = self.pipeline.cycles();
+                for f in self.datapath.take_completed(now) {
+                    self.frame_cache.insert(f);
+                }
+            }
+            let addr = self.records[i].addr;
+            match self.cfg.kind {
+                ConfigKind::ICache => {
+                    self.fetch_via_decoder(i, FetchPath::ICache);
+                    self.consume(i);
+                    i += 1;
+                }
+                ConfigKind::TraceCache => {
+                    let hit = self.tc_cache.lookup(addr).cloned();
+                    match hit {
+                        Some(entry) => {
+                            let mut j = 0;
+                            while j < entry.x86_addrs.len()
+                                && i + j < self.records.len()
+                                && self.records[i + j].addr == entry.x86_addrs[j]
+                            {
+                                self.fetch_via_decoder(i + j, FetchPath::Frame);
+                                self.consume(i + j);
+                                j += 1;
+                            }
+                            if j == 0 {
+                                self.fetch_via_decoder(i, FetchPath::ICache);
+                                self.consume(i);
+                                j = 1;
+                            } else {
+                                self.frames_x86 += j as u64;
+                            }
+                            i += j;
+                        }
+                        None => {
+                            self.fetch_via_decoder(i, FetchPath::ICache);
+                            self.consume(i);
+                            i += 1;
+                        }
+                    }
+                }
+                ConfigKind::Replay | ConfigKind::ReplayOpt => {
+                    let hit = self.frame_cache.lookup(addr).map(|c| c.opt.clone());
+                    match hit {
+                        Some(opt) => {
+                            i += self.fetch_frame_instance(&opt, i);
+                        }
+                        None => {
+                            self.fetch_via_decoder(i, FetchPath::ICache);
+                            self.consume(i);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.pipeline.finish();
+
+        let pstats = self.pipeline.stats();
+        let coverage = if pstats.retired_x86 == 0 {
+            0.0
+        } else {
+            self.frames_x86 as f64 / pstats.retired_x86 as f64
+        };
+        SimResult {
+            workload: String::new(),
+            config: self.cfg.kind,
+            cycles: self.pipeline.cycles(),
+            x86_retired: pstats.retired_x86,
+            bins: self.pipeline.bins(),
+            pipeline: pstats,
+            opt_stats: self.opt_stats,
+            dyn_uops_total: self.injector.uops_seen(),
+            dyn_uops_removed: self.dyn_uops_removed,
+            dyn_loads_total: self.injector.loads_seen(),
+            dyn_loads_removed: self.dyn_loads_removed,
+            constructor: self.constructor.stats(),
+            coverage,
+            assert_events: pstats.assert_events,
+            path_mismatches: self.path_mismatch_completions,
+            verify: self.verifier.stats(),
+            uop_ratio: self.injector.uop_ratio(),
+        }
+    }
+}
+
+/// Simulates one trace through one configuration.
+///
+/// # Example
+///
+/// ```
+/// use replay_sim::{simulate, ConfigKind, SimConfig};
+/// use replay_trace::workloads;
+///
+/// let trace = workloads::by_name("gzip").unwrap().segment_trace(0, 2_000);
+/// let r = simulate(&trace, &SimConfig::new(ConfigKind::ICache));
+/// assert_eq!(r.x86_retired, 2_000);
+/// assert!(r.ipc() > 0.1);
+/// ```
+pub fn simulate(trace: &Trace, cfg: &SimConfig) -> SimResult {
+    let mut result = Runner::new(trace, cfg).run();
+    result.workload = trace.name.clone();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replay_trace::workloads;
+
+    fn short_trace(name: &str, len: usize) -> Trace {
+        workloads::by_name(name).unwrap().segment_trace(0, len)
+    }
+
+    #[test]
+    fn all_configs_retire_every_instruction() {
+        let trace = short_trace("crafty", 5_000);
+        for kind in ConfigKind::ALL {
+            let r = simulate(&trace, &SimConfig::new(kind));
+            assert_eq!(r.x86_retired, 5_000, "{kind} retired count");
+            assert_eq!(r.cycles, r.bins.total(), "{kind} bins cover cycles");
+            assert!(r.ipc() > 0.05, "{kind} ipc {}", r.ipc());
+        }
+    }
+
+    #[test]
+    fn replay_builds_and_uses_frames() {
+        let trace = short_trace("bzip2", 8_000);
+        let r = simulate(&trace, &SimConfig::new(ConfigKind::Replay));
+        assert!(r.constructor.completed > 0, "frames constructed");
+        assert!(r.coverage > 0.3, "coverage {}", r.coverage);
+        assert!(r.pipeline.frames_fetched > 0);
+    }
+
+    #[test]
+    fn optimization_removes_uops_and_verifies() {
+        let trace = short_trace("bzip2", 8_000);
+        let r = simulate(&trace, &SimConfig::new(ConfigKind::ReplayOpt));
+        assert!(r.uop_removal() > 0.05, "removal {}", r.uop_removal());
+        assert!(r.verify.checked > 0, "verifier ran");
+        assert_eq!(r.verify.failed, 0, "all optimizations sound");
+    }
+
+    #[test]
+    fn rpo_beats_rp_on_redundant_workload() {
+        let trace = short_trace("bzip2", 12_000);
+        let rp = simulate(&trace, &SimConfig::new(ConfigKind::Replay));
+        let rpo = simulate(&trace, &SimConfig::new(ConfigKind::ReplayOpt));
+        assert!(
+            rpo.ipc() > rp.ipc(),
+            "RPO {} should beat RP {}",
+            rpo.ipc(),
+            rp.ipc()
+        );
+    }
+
+    #[test]
+    fn excel_aborts_some_frames() {
+        let trace = short_trace("excel", 12_000);
+        let r = simulate(&trace, &SimConfig::new(ConfigKind::ReplayOpt));
+        assert!(
+            r.assert_events > 0,
+            "speculative memory optimization must abort sometimes"
+        );
+    }
+
+    #[test]
+    fn trace_cache_covers_instructions() {
+        let trace = short_trace("gzip", 6_000);
+        let r = simulate(&trace, &SimConfig::new(ConfigKind::TraceCache));
+        assert!(r.coverage > 0.2, "TC coverage {}", r.coverage);
+    }
+}

@@ -1,0 +1,153 @@
+//! The Trace-Cache configuration's fill unit and cache entries.
+
+use replay_frame::CacheEntry;
+
+/// A trace-cache line: a dynamic sequence of decoded x86 instructions with
+/// up to three conditional branches (the paper's TC configuration, §5.3).
+///
+/// Unlike a frame, a trace is neither atomic nor single-exit: embedded
+/// branches stay branches and are predicted at fetch; execution may leave
+/// the trace at any of them (partial-trace fetch).
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Entry address.
+    pub start_addr: u32,
+    /// Covered instruction addresses in path order.
+    pub x86_addrs: Vec<u32>,
+    /// Total uops in the trace (cache slot cost).
+    pub uop_count: usize,
+}
+
+impl CacheEntry for TraceEntry {
+    fn entry_addr(&self) -> u32 {
+        self.start_addr
+    }
+    fn slot_cost(&self) -> usize {
+        self.uop_count
+    }
+}
+
+/// The fill unit: continuously collects retired instructions into traces
+/// of at most `max_branches` conditional branches and `max_uops` uops.
+#[derive(Debug)]
+pub struct TraceFiller {
+    max_branches: usize,
+    max_uops: usize,
+    pending: Option<TraceEntry>,
+    branches: usize,
+    filled: u64,
+}
+
+impl TraceFiller {
+    /// Creates a fill unit with the paper's limits: up to three branch
+    /// micro-operations per trace; trace length bounded like a wide cache
+    /// line.
+    pub fn new() -> TraceFiller {
+        TraceFiller::with_limits(3, 32)
+    }
+
+    /// Creates a fill unit with explicit limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is zero.
+    pub fn with_limits(max_branches: usize, max_uops: usize) -> TraceFiller {
+        assert!(max_branches > 0 && max_uops > 0, "limits must be positive");
+        TraceFiller {
+            max_branches,
+            max_uops,
+            pending: None,
+            branches: 0,
+            filled: 0,
+        }
+    }
+
+    /// Observes one retired instruction. Returns a completed trace when
+    /// the limits are reached.
+    ///
+    /// `ends_trace` marks instructions after which the fill must stop
+    /// regardless of limits (indirect jumps, serializing instructions).
+    pub fn retire(
+        &mut self,
+        addr: u32,
+        n_uops: usize,
+        is_cond_branch: bool,
+        ends_trace: bool,
+    ) -> Option<TraceEntry> {
+        let pending = self.pending.get_or_insert_with(|| TraceEntry {
+            start_addr: addr,
+            x86_addrs: Vec::new(),
+            uop_count: 0,
+        });
+        pending.x86_addrs.push(addr);
+        pending.uop_count += n_uops;
+        if is_cond_branch {
+            self.branches += 1;
+        }
+        if self.branches >= self.max_branches || pending.uop_count >= self.max_uops || ends_trace {
+            self.branches = 0;
+            self.filled += 1;
+            return self.pending.take();
+        }
+        None
+    }
+
+    /// Traces completed so far.
+    pub fn filled(&self) -> u64 {
+        self.filled
+    }
+}
+
+impl Default for TraceFiller {
+    fn default() -> TraceFiller {
+        TraceFiller::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_branches_complete_a_trace() {
+        let mut f = TraceFiller::new();
+        assert!(f.retire(0x10, 1, false, false).is_none());
+        assert!(f.retire(0x11, 1, true, false).is_none());
+        assert!(f.retire(0x20, 1, true, false).is_none());
+        let t = f.retire(0x30, 1, true, false).expect("third branch");
+        assert_eq!(t.start_addr, 0x10);
+        assert_eq!(t.x86_addrs, vec![0x10, 0x11, 0x20, 0x30]);
+        assert_eq!(t.uop_count, 4);
+        assert_eq!(f.filled(), 1);
+    }
+
+    #[test]
+    fn uop_limit_completes_a_trace() {
+        let mut f = TraceFiller::with_limits(3, 8);
+        assert!(f.retire(0x10, 4, false, false).is_none());
+        let t = f.retire(0x11, 4, false, false).expect("uop limit");
+        assert_eq!(t.uop_count, 8);
+    }
+
+    #[test]
+    fn forced_end() {
+        let mut f = TraceFiller::new();
+        let t = f.retire(0x10, 3, false, true).expect("RET ends the trace");
+        assert_eq!(t.x86_addrs, vec![0x10]);
+    }
+
+    #[test]
+    fn next_trace_starts_fresh() {
+        let mut f = TraceFiller::with_limits(1, 32);
+        let t1 = f.retire(0x10, 1, true, false).unwrap();
+        let t2 = f.retire(0x50, 1, true, false).unwrap();
+        assert_eq!(t1.start_addr, 0x10);
+        assert_eq!(t2.start_addr, 0x50);
+    }
+
+    #[test]
+    #[should_panic(expected = "limits must be positive")]
+    fn zero_limits_rejected() {
+        TraceFiller::with_limits(0, 8);
+    }
+}

@@ -1,0 +1,147 @@
+//! Processor configuration (paper Table 2).
+
+use crate::cache::CacheConfig;
+
+/// The timing model's processor parameters.
+///
+/// Defaults reproduce Table 2 of the paper; named constructors give the
+/// ICache-only reference configuration its larger instruction cache.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Fetch/issue/retire width in uops (paper: 8).
+    pub width: usize,
+    /// Maximum x86 instructions decoded per cycle on the ICache path
+    /// (paper: 4).
+    pub x86_decode_width: usize,
+    /// Minimum cycles between fetching a branch and its earliest possible
+    /// execution (paper: 15).
+    pub branch_resolution_depth: u64,
+    /// Scheduling-window capacity in uops (paper: 512).
+    pub window: usize,
+    /// Number of single-cycle integer ALUs (paper: 6).
+    pub simple_alus: usize,
+    /// Number of multi-cycle integer units (paper: 2).
+    pub complex_alus: usize,
+    /// Number of floating-point units (paper: 3; unused by the integer
+    /// workloads but part of the configuration).
+    pub fpus: usize,
+    /// Number of load/store units (paper: 4).
+    pub ldst_units: usize,
+    /// gshare global-history length in bits (paper: 18).
+    pub gshare_bits: u32,
+    /// Instruction cache geometry.
+    pub icache: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 data hit latency (paper: 2).
+    pub l1d_latency: u64,
+    /// L2 hit latency (paper: 10).
+    pub l2_latency: u64,
+    /// Memory latency (paper: 50).
+    pub memory_latency: u64,
+    /// Frame/trace cache capacity in uops (paper: 16K ≈ 64 kB).
+    pub frame_cache_uops: usize,
+    /// Idle cycle charged when fetch switches between the frame cache and
+    /// the ICache (the paper's Wait cycles).
+    pub cache_switch_wait: u64,
+    /// Latency of a complex integer op (`IMUL`).
+    pub mul_latency: u64,
+    /// Latency of `DIV`/`REM`.
+    pub div_latency: u64,
+}
+
+impl TimingConfig {
+    /// The paper's rePLay / Trace-Cache configuration: 8 kB ICache next to
+    /// a 16K-uop frame cache.
+    pub fn paper_default() -> TimingConfig {
+        TimingConfig {
+            width: 8,
+            x86_decode_width: 4,
+            branch_resolution_depth: 15,
+            window: 512,
+            simple_alus: 6,
+            complex_alus: 2,
+            fpus: 3,
+            ldst_units: 4,
+            gshare_bits: 18,
+            icache: CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 64,
+                assoc: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                assoc: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                line_bytes: 64,
+                assoc: 8,
+            },
+            l1d_latency: 2,
+            l2_latency: 10,
+            memory_latency: 50,
+            frame_cache_uops: 16 * 1024,
+            cache_switch_wait: 1,
+            mul_latency: 3,
+            div_latency: 12,
+        }
+    }
+
+    /// The paper's ICache-only reference configuration: a 64 kB ICache and
+    /// no frame/trace cache.
+    pub fn icache_reference() -> TimingConfig {
+        TimingConfig {
+            icache: CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                assoc: 2,
+            },
+            frame_cache_uops: 0,
+            ..TimingConfig::paper_default()
+        }
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> TimingConfig {
+        TimingConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let c = TimingConfig::paper_default();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.x86_decode_width, 4);
+        assert_eq!(c.branch_resolution_depth, 15);
+        assert_eq!(c.window, 512);
+        assert_eq!(
+            (c.simple_alus, c.complex_alus, c.fpus, c.ldst_units),
+            (6, 2, 3, 4)
+        );
+        assert_eq!(c.gshare_bits, 18);
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l1d_latency, 2);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.l2_latency, 10);
+        assert_eq!(c.memory_latency, 50);
+        assert_eq!(c.frame_cache_uops, 16 * 1024);
+        assert_eq!(c.icache.size_bytes, 8 * 1024);
+    }
+
+    #[test]
+    fn icache_reference_differs_only_in_fetch_path() {
+        let c = TimingConfig::icache_reference();
+        assert_eq!(c.icache.size_bytes, 64 * 1024);
+        assert_eq!(c.frame_cache_uops, 0);
+        assert_eq!(c.window, 512);
+    }
+}

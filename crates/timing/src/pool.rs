@@ -1,0 +1,108 @@
+//! Functional-unit pool.
+
+use replay_uop::OpcodeClass;
+
+/// Tracks per-unit busy times for the execution resources of Table 2:
+/// simple ALUs, complex ALUs, FPUs, and load/store units.
+///
+/// Assertion uops execute on simple ALUs; loads and stores occupy a
+/// load/store unit for one cycle (the cache latency is modeled separately
+/// as result latency, the unit itself is pipelined).
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    simple: Vec<u64>,
+    complex: Vec<u64>,
+    fpu: Vec<u64>,
+    ldst: Vec<u64>,
+}
+
+impl FuPool {
+    /// Creates a pool with the given unit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    pub fn new(simple: usize, complex: usize, fpu: usize, ldst: usize) -> FuPool {
+        assert!(
+            simple > 0 && complex > 0 && fpu > 0 && ldst > 0,
+            "unit counts must be positive"
+        );
+        FuPool {
+            simple: vec![0; simple],
+            complex: vec![0; complex],
+            fpu: vec![0; fpu],
+            ldst: vec![0; ldst],
+        }
+    }
+
+    fn bank(&mut self, class: OpcodeClass) -> &mut Vec<u64> {
+        match class {
+            OpcodeClass::ComplexAlu => &mut self.complex,
+            OpcodeClass::Load | OpcodeClass::Store => &mut self.ldst,
+            // SimpleAlu, Branch, Assert, Other share the simple ALUs.
+            _ => &mut self.simple,
+        }
+    }
+
+    /// Number of floating-point units (present for Table 2 completeness;
+    /// the integer workloads never issue to them).
+    pub fn fpu_count(&self) -> usize {
+        self.fpu.len()
+    }
+
+    /// Reserves a unit of the class at or after `earliest`, occupying it
+    /// for `occupy` cycles. Returns the actual issue time.
+    pub fn issue(&mut self, class: OpcodeClass, earliest: u64, occupy: u64) -> u64 {
+        let bank = self.bank(class);
+        let (idx, &free) = bank
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("non-empty bank");
+        let start = earliest.max(free);
+        bank[idx] = start + occupy.max(1);
+        start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_delays_issue() {
+        let mut p = FuPool::new(2, 1, 1, 1);
+        assert_eq!(p.issue(OpcodeClass::SimpleAlu, 10, 1), 10);
+        assert_eq!(p.issue(OpcodeClass::SimpleAlu, 10, 1), 10, "second unit");
+        assert_eq!(p.issue(OpcodeClass::SimpleAlu, 10, 1), 11, "both busy");
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut p = FuPool::new(1, 1, 1, 1);
+        assert_eq!(p.issue(OpcodeClass::SimpleAlu, 5, 10), 5);
+        assert_eq!(p.issue(OpcodeClass::Load, 5, 1), 5, "LSU not blocked");
+        assert_eq!(p.issue(OpcodeClass::ComplexAlu, 5, 1), 5);
+    }
+
+    #[test]
+    fn long_occupancy_blocks_complex_unit() {
+        let mut p = FuPool::new(1, 1, 1, 1);
+        assert_eq!(p.issue(OpcodeClass::ComplexAlu, 0, 12), 0);
+        assert_eq!(p.issue(OpcodeClass::ComplexAlu, 0, 12), 12);
+    }
+
+    #[test]
+    fn branch_and_assert_use_simple_alus() {
+        let mut p = FuPool::new(1, 1, 1, 1);
+        assert_eq!(p.issue(OpcodeClass::Branch, 0, 1), 0);
+        assert_eq!(p.issue(OpcodeClass::Assert, 0, 1), 1);
+        assert_eq!(p.issue(OpcodeClass::SimpleAlu, 0, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit counts")]
+    fn zero_units_rejected() {
+        FuPool::new(0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Program construction helpers: code + data segments.
+
+use replay_x86::{Assembler, Program};
+
+/// Builds a program image together with its initialized data segments.
+///
+/// Wraps the [`Assembler`] with a bump allocator for data words and
+/// supports *deferred* data (e.g. jump tables whose entries are code
+/// addresses that are only known after the code is emitted).
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    /// The underlying assembler (public: phrase emitters drive it
+    /// directly).
+    pub asm: Assembler,
+    data: Vec<(u32, Vec<u8>)>,
+    next_data: u32,
+    patches: Vec<(u32, Vec<u32>)>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder placing code at `code_base` and data at
+    /// `data_base`.
+    pub fn new(code_base: u32, data_base: u32) -> ProgramBuilder {
+        ProgramBuilder {
+            asm: Assembler::new(code_base),
+            data: Vec::new(),
+            next_data: data_base,
+            patches: Vec::new(),
+        }
+    }
+
+    /// Allocates and initializes a run of 32-bit words; returns its
+    /// address.
+    pub fn alloc_words(&mut self, words: &[u32]) -> u32 {
+        let addr = self.next_data;
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.next_data += bytes.len() as u32;
+        self.data.push((addr, bytes));
+        addr
+    }
+
+    /// Reserves `n` zeroed words; returns the address. Use
+    /// [`ProgramBuilder::patch_words`] to fill them later.
+    pub fn reserve_words(&mut self, n: usize) -> u32 {
+        self.alloc_words(&vec![0u32; n])
+    }
+
+    /// Overwrites previously allocated words (e.g. a jump table) once
+    /// their values are known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not returned by an allocation, or the patch
+    /// runs past the allocation.
+    pub fn patch_words(&mut self, addr: u32, words: &[u32]) {
+        self.patches.push((addr, words.to_vec()));
+    }
+
+    /// Finalizes the program. Returns the program and its data segments
+    /// (`(address, bytes)` pairs to seed into machine memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unbound labels or invalid patches.
+    pub fn finish(mut self) -> (Program, Vec<(u32, Vec<u8>)>) {
+        for (addr, words) in std::mem::take(&mut self.patches) {
+            let seg = self
+                .data
+                .iter_mut()
+                .find(|(base, bytes)| addr >= *base && addr < *base + bytes.len() as u32)
+                .unwrap_or_else(|| panic!("patch at {addr:#x} outside any allocation"));
+            let off = (addr - seg.0) as usize;
+            assert!(
+                off + words.len() * 4 <= seg.1.len(),
+                "patch overruns allocation"
+            );
+            for (i, w) in words.iter().enumerate() {
+                seg.1[off + i * 4..off + i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+            }
+        }
+        (self.asm.finish(), self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replay_x86::Inst;
+
+    #[test]
+    fn data_allocation_is_contiguous() {
+        let mut b = ProgramBuilder::new(0x1000, 0x8000);
+        let a = b.alloc_words(&[1, 2, 3]);
+        let c = b.alloc_words(&[4]);
+        assert_eq!(a, 0x8000);
+        assert_eq!(c, 0x800c);
+        b.asm.push(Inst::Ret);
+        let (p, data) = b.finish();
+        assert_eq!(p.base, 0x1000);
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[0].1, vec![1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn reserve_and_patch() {
+        let mut b = ProgramBuilder::new(0x1000, 0x8000);
+        let t = b.reserve_words(2);
+        b.patch_words(t + 4, &[0xdead_beef]);
+        b.asm.push(Inst::Ret);
+        let (_, data) = b.finish();
+        assert_eq!(&data[0].1[4..8], &0xdead_beefu32.to_le_bytes());
+        assert_eq!(&data[0].1[..4], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside any allocation")]
+    fn patch_outside_allocation_panics() {
+        let mut b = ProgramBuilder::new(0x1000, 0x8000);
+        b.patch_words(0x9000, &[1]);
+        b.asm.push(Inst::Ret);
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,303 @@
+//! Binary trace file format.
+//!
+//! A compact, self-contained format for saving and reloading traces. Each
+//! record stores its instruction as genuine machine-code bytes (produced by
+//! the [`replay_x86`] encoder and re-decoded on load), so a trace file is
+//! also an interoperability test of the codec.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "RPLT"            4 bytes
+//! version u32              currently 1
+//! name    u32 len + bytes  workload name (UTF-8)
+//! init    16 x u32 + u8    initial register file and flags
+//! count   u64              number of records
+//! records ...
+//! ```
+//!
+//! Each record:
+//!
+//! ```text
+//! addr u32, next_pc u32, flags u8, inst_len u8, inst bytes,
+//! n_regs u8,  (u8 reg, u32 value) * n_regs,
+//! n_reads u8, (u32 addr, u32 value) * n_reads,
+//! n_writes u8,(u32 addr, u32 value) * n_writes
+//! ```
+
+use crate::{Trace, TraceRecord};
+use replay_x86::{decode, encode, DecodeError};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RPLT";
+const VERSION: u32 = 1;
+
+/// Errors from trace file reading.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The embedded instruction bytes failed to decode.
+    BadInstruction(DecodeError),
+    /// A string field was not UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::BadInstruction(e) => write!(f, "corrupt instruction bytes: {e}"),
+            TraceIoError::BadString => write!(f, "corrupt string field"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::BadInstruction(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> TraceIoError {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace in the binary format. A `&mut` reference works as the
+/// writer, e.g. `write_trace(&mut file, &trace)?`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name.as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    for r in trace.init_regs {
+        w.write_all(&r.to_le_bytes())?;
+    }
+    w.write_all(&[trace.init_flags])?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for r in trace.records() {
+        w.write_all(&r.addr.to_le_bytes())?;
+        w.write_all(&r.next_pc.to_le_bytes())?;
+        w.write_all(&[r.flags_after])?;
+        let bytes = encode(&r.inst, r.addr);
+        debug_assert_eq!(bytes.len(), r.len as usize);
+        w.write_all(&[bytes.len() as u8])?;
+        w.write_all(&bytes)?;
+        w.write_all(&[r.reg_writes.len() as u8])?;
+        for (reg, v) in &r.reg_writes {
+            w.write_all(&[*reg])?;
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&[r.mem_reads.len() as u8])?;
+        for (a, v) in &r.mem_reads {
+            w.write_all(&a.to_le_bytes())?;
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.write_all(&[r.mem_writes.len() as u8])?;
+        for (a, v) in &r.mem_writes {
+            w.write_all(&a.to_le_bytes())?;
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+struct Reader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> Reader<R> {
+    fn u8(&mut self) -> Result<u8, TraceIoError> {
+        let mut b = [0u8; 1];
+        self.inner.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+    fn u32(&mut self) -> Result<u32, TraceIoError> {
+        let mut b = [0u8; 4];
+        self.inner.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64, TraceIoError> {
+        let mut b = [0u8; 8];
+        self.inner.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>, TraceIoError> {
+        let mut v = vec![0u8; n];
+        self.inner.read_exact(&mut v)?;
+        Ok(v)
+    }
+}
+
+/// Reads a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Fails on I/O errors, format violations, or corrupt instruction bytes.
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let mut r = Reader { inner: r };
+    if &r.bytes(4)?[..] != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    let name_len = r.u32()? as usize;
+    let name = String::from_utf8(r.bytes(name_len)?).map_err(|_| TraceIoError::BadString)?;
+    let mut init_regs = [0u32; replay_uop::NUM_ARCH_REGS];
+    for reg in &mut init_regs {
+        *reg = r.u32()?;
+    }
+    let init_flags = r.u8()?;
+    let count = r.u64()? as usize;
+    let mut records = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let addr = r.u32()?;
+        let next_pc = r.u32()?;
+        let flags_after = r.u8()?;
+        let inst_len = r.u8()? as usize;
+        let inst_bytes = r.bytes(inst_len)?;
+        let (inst, len) = decode(&inst_bytes, addr).map_err(TraceIoError::BadInstruction)?;
+        let n = r.u8()? as usize;
+        let mut reg_writes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let reg = r.u8()?;
+            reg_writes.push((reg, r.u32()?));
+        }
+        let n = r.u8()? as usize;
+        let mut mem_reads = Vec::with_capacity(n);
+        for _ in 0..n {
+            mem_reads.push((r.u32()?, r.u32()?));
+        }
+        let n = r.u8()? as usize;
+        let mut mem_writes = Vec::with_capacity(n);
+        for _ in 0..n {
+            mem_writes.push((r.u32()?, r.u32()?));
+        }
+        records.push(TraceRecord {
+            addr,
+            len,
+            inst,
+            next_pc,
+            reg_writes,
+            mem_reads,
+            mem_writes,
+            flags_after,
+        });
+    }
+    Ok(Trace::new(name, records).with_init(init_regs, init_flags))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replay_x86::{Gpr, Inst, MemOperand};
+
+    fn sample() -> Trace {
+        Trace::new(
+            "roundtrip",
+            vec![
+                TraceRecord {
+                    addr: 0x40_0000,
+                    len: 5,
+                    inst: Inst::MovRI {
+                        dst: Gpr::Eax,
+                        imm: -3,
+                    },
+                    next_pc: 0x40_0005,
+                    reg_writes: vec![(0, 0xffff_fffd)],
+                    mem_reads: vec![],
+                    mem_writes: vec![],
+                    flags_after: 0,
+                },
+                TraceRecord {
+                    addr: 0x40_0005,
+                    len: 6,
+                    inst: Inst::MovMR {
+                        mem: MemOperand::absolute(0x9000),
+                        src: Gpr::Eax,
+                    },
+                    next_pc: 0x40_000b,
+                    reg_writes: vec![],
+                    mem_reads: vec![],
+                    mem_writes: vec![(0x9000, 0xffff_fffd)],
+                    flags_after: 3,
+                },
+                TraceRecord {
+                    addr: 0x40_000b,
+                    len: 6,
+                    inst: Inst::Jcc {
+                        cc: replay_x86::CondX86::Nz,
+                        target: 0x40_0000,
+                    },
+                    next_pc: 0x40_0000,
+                    reg_writes: vec![],
+                    mem_reads: vec![(1, 2), (3, 4)],
+                    mem_writes: vec![],
+                    flags_after: 0x1f,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.name, "roundtrip");
+        assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        buf[4] = 99;
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_reported_as_io() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        let err = read_trace(&buf[..buf.len() - 3]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new("empty", vec![]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.name, "empty");
+    }
+}

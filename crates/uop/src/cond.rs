@@ -1,0 +1,224 @@
+//! Condition codes for conditional branches and assertions.
+
+use crate::Flags;
+use std::fmt;
+
+/// A condition code evaluated over [`Flags`], following x86 `Jcc` semantics.
+///
+/// Conditional branch uops (`Br`) and assertion uops (`Assert`) carry a
+/// condition code. A branch is taken when its condition holds; an assertion
+/// *fires* (triggering frame rollback) when its condition does **not** hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal / zero (`ZF = 1`).
+    Eq = 0,
+    /// Not equal / not zero (`ZF = 0`).
+    Ne = 1,
+    /// Signed less than (`SF != OF`).
+    Lt = 2,
+    /// Signed less than or equal (`ZF = 1 or SF != OF`).
+    Le = 3,
+    /// Signed greater than (`ZF = 0 and SF = OF`).
+    Gt = 4,
+    /// Signed greater than or equal (`SF = OF`).
+    Ge = 5,
+    /// Unsigned below (`CF = 1`).
+    B = 6,
+    /// Unsigned below or equal (`CF = 1 or ZF = 1`).
+    Be = 7,
+    /// Unsigned above (`CF = 0 and ZF = 0`).
+    A = 8,
+    /// Unsigned above or equal (`CF = 0`).
+    Ae = 9,
+    /// Sign set (`SF = 1`).
+    S = 10,
+    /// Sign clear (`SF = 0`).
+    Ns = 11,
+    /// Overflow set (`OF = 1`).
+    O = 12,
+    /// Overflow clear (`OF = 0`).
+    No = 13,
+    /// Parity even (`PF = 1`).
+    P = 14,
+    /// Parity odd (`PF = 0`).
+    Np = 15,
+}
+
+impl Cond {
+    /// All condition codes.
+    pub const ALL: [Cond; 16] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Ge,
+        Cond::B,
+        Cond::Be,
+        Cond::A,
+        Cond::Ae,
+        Cond::S,
+        Cond::Ns,
+        Cond::O,
+        Cond::No,
+        Cond::P,
+        Cond::Np,
+    ];
+
+    /// Evaluates the condition against a set of flags.
+    pub fn holds(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::Lt => f.sf != f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::Gt => !f.zf && f.sf == f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::B => f.cf,
+            Cond::Be => f.cf || f.zf,
+            Cond::A => !f.cf && !f.zf,
+            Cond::Ae => !f.cf,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+            Cond::O => f.of,
+            Cond::No => !f.of,
+            Cond::P => f.pf,
+            Cond::Np => !f.pf,
+        }
+    }
+
+    /// The logical negation of the condition (e.g. `Eq` ↔ `Ne`).
+    ///
+    /// Used by the frame constructor: a branch that is biased *not-taken*
+    /// becomes an assertion that the *negated* condition holds.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::B => Cond::Ae,
+            Cond::Ae => Cond::B,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+            Cond::O => Cond::No,
+            Cond::No => Cond::O,
+            Cond::P => Cond::Np,
+            Cond::Np => Cond::P,
+        }
+    }
+
+    /// Short x86-style mnemonic suffix (e.g. `"Z"` for [`Cond::Eq`]).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "Z",
+            Cond::Ne => "NZ",
+            Cond::Lt => "L",
+            Cond::Le => "LE",
+            Cond::Gt => "G",
+            Cond::Ge => "GE",
+            Cond::B => "B",
+            Cond::Be => "BE",
+            Cond::A => "A",
+            Cond::Ae => "AE",
+            Cond::S => "S",
+            Cond::Ns => "NS",
+            Cond::O => "O",
+            Cond::No => "NO",
+            Cond::P => "P",
+            Cond::Np => "NP",
+        }
+    }
+
+    /// Reconstructs a condition code from its discriminant.
+    pub fn from_u8(v: u8) -> Option<Cond> {
+        Self::ALL.get(v as usize).copied()
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(zf: bool, sf: bool, cf: bool, of: bool, pf: bool) -> Flags {
+        Flags { zf, sf, cf, of, pf }
+    }
+
+    #[test]
+    fn negation_is_involutive_and_complementary() {
+        // Enumerate all 32 flag combinations and all conditions.
+        for bits in 0..32u8 {
+            let f = Flags::from_bits(bits);
+            for c in Cond::ALL {
+                assert_eq!(c.negate().negate(), c);
+                assert_ne!(c.holds(f), c.negate().holds(f), "cond {c} flags {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // 1 - 2: SF set, OF clear => Lt holds.
+        let f = Flags::from_sub(1, 2);
+        assert!(Cond::Lt.holds(f));
+        assert!(Cond::Le.holds(f));
+        assert!(!Cond::Gt.holds(f));
+        assert!(!Cond::Ge.holds(f));
+        // INT_MIN - 1 overflows: SF clear, OF set => still Lt.
+        let f = Flags::from_sub(0x8000_0000, 1);
+        assert!(Cond::Lt.holds(f));
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        // 1 - 2 borrows => B holds.
+        let f = Flags::from_sub(1, 2);
+        assert!(Cond::B.holds(f));
+        assert!(Cond::Be.holds(f));
+        assert!(!Cond::A.holds(f));
+        // 2 - 1: no borrow, nonzero => A holds.
+        let f = Flags::from_sub(2, 1);
+        assert!(Cond::A.holds(f));
+        assert!(Cond::Ae.holds(f));
+    }
+
+    #[test]
+    fn equality() {
+        let f = Flags::from_sub(5, 5);
+        assert!(Cond::Eq.holds(f));
+        assert!(Cond::Le.holds(f));
+        assert!(Cond::Ge.holds(f));
+        assert!(Cond::Be.holds(f));
+        assert!(Cond::Ae.holds(f));
+        assert!(!Cond::Ne.holds(f));
+    }
+
+    #[test]
+    fn sign_overflow_parity_direct() {
+        let f = flags(false, true, false, false, true);
+        assert!(Cond::S.holds(f));
+        assert!(!Cond::Ns.holds(f));
+        assert!(Cond::P.holds(f));
+        assert!(!Cond::O.holds(f));
+        assert!(Cond::No.holds(f));
+    }
+
+    #[test]
+    fn from_u8_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_u8(c as u8), Some(c));
+        }
+        assert_eq!(Cond::from_u8(16), None);
+    }
+}

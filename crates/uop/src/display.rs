@@ -1,0 +1,203 @@
+//! Human-readable rendering of micro-operations in the paper's notation.
+//!
+//! The paper writes uops in a transfer style, e.g.
+//! `SS:[ESP - 04H] <- EBP` for a stack store or `EDX,flags <- ECX | EBX` for
+//! a flag-setting ALU op. [`Uop`]'s `Display` impl follows that notation so
+//! that dumps of frames are directly comparable with Figure 2.
+
+use crate::{Opcode, Uop};
+use std::fmt;
+
+fn fmt_disp(f: &mut fmt::Formatter<'_>, disp: i32) -> fmt::Result {
+    if disp > 0 {
+        write!(f, " + {:02X}H", disp)
+    } else if disp < 0 {
+        write!(f, " - {:02X}H", -(disp as i64))
+    } else {
+        Ok(())
+    }
+}
+
+fn fmt_addr(f: &mut fmt::Formatter<'_>, u: &Uop) -> fmt::Result {
+    write!(f, "[")?;
+    match (u.src_a, u.src_b, u.op) {
+        (Some(base), Some(index), Opcode::Load) => {
+            write!(f, "{base} + {index}*{}", u.scale)?;
+            fmt_disp(f, u.imm)?;
+        }
+        (Some(base), _, _) => {
+            write!(f, "{base}")?;
+            fmt_disp(f, u.imm)?;
+        }
+        (None, _, _) => {
+            write!(f, "{:08X}H", u.imm as u32)?;
+        }
+    }
+    write!(f, "]")
+}
+
+fn alu_symbol(op: Opcode) -> &'static str {
+    match op {
+        Opcode::Add => "+",
+        Opcode::Sub => "-",
+        Opcode::And => "&",
+        Opcode::Or => "|",
+        Opcode::Xor => "^",
+        Opcode::Shl => "<<",
+        Opcode::Shr => ">>",
+        Opcode::Sar => ">>a",
+        Opcode::Mul => "*",
+        Opcode::Div => "/",
+        Opcode::Rem => "%",
+        _ => "?",
+    }
+}
+
+impl fmt::Display for Uop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Opcode::Nop => write!(f, "nop"),
+            Opcode::Fence => write!(f, "fence"),
+            Opcode::Jmp => write!(f, "jump {:08X}H", self.target),
+            Opcode::JmpInd => {
+                let r = self.src_a.map(|r| r.name()).unwrap_or("?");
+                write!(f, "jump ({r})")
+            }
+            Opcode::Br => {
+                let cc = self.cc.map(|c| c.mnemonic()).unwrap_or("?");
+                write!(f, "if ({cc}) jump {:08X}H", self.target)
+            }
+            Opcode::Assert => {
+                let cc = self.cc.map(|c| c.mnemonic()).unwrap_or("?");
+                write!(f, "assert {cc}")
+            }
+            Opcode::AssertCmp | Opcode::AssertTest => {
+                let cc = self.cc.map(|c| c.mnemonic()).unwrap_or("?");
+                let a = self.src_a.map(|r| r.name()).unwrap_or("?");
+                let link = if self.op == Opcode::AssertCmp {
+                    "cmp"
+                } else {
+                    "test"
+                };
+                match self.src_b {
+                    Some(b) => write!(f, "assert {cc} ({link} {a}, {b})"),
+                    None => write!(f, "assert {cc} ({link} {a}, {:02X}H)", self.imm),
+                }
+            }
+            Opcode::Load => {
+                let dst = self.dst.map(|r| r.name()).unwrap_or("?");
+                write!(f, "{dst} <- ")?;
+                fmt_addr(f, self)
+            }
+            Opcode::Store => {
+                fmt_addr(f, self)?;
+                let data = self.src_b.map(|r| r.name()).unwrap_or("?");
+                write!(f, " <- {data}")
+            }
+            Opcode::Mov => {
+                let dst = self.dst.map(|r| r.name()).unwrap_or("?");
+                let a = self.src_a.map(|r| r.name()).unwrap_or("?");
+                write!(f, "{dst} <- {a}")
+            }
+            Opcode::MovImm => {
+                let dst = self.dst.map(|r| r.name()).unwrap_or("?");
+                write!(f, "{dst}")?;
+                if self.writes_flags {
+                    write!(f, ",flags")?;
+                }
+                write!(f, " <- {:X}H", self.imm as u32)
+            }
+            Opcode::Lea => {
+                let dst = self.dst.map(|r| r.name()).unwrap_or("?");
+                let a = self.src_a.map(|r| r.name()).unwrap_or("?");
+                write!(f, "{dst} <- {a}")?;
+                if let Some(idx) = self.src_b {
+                    write!(f, " + {idx}*{}", self.scale)?;
+                }
+                fmt_disp(f, self.imm)
+            }
+            Opcode::Cmp | Opcode::Test => {
+                let a = self.src_a.map(|r| r.name()).unwrap_or("?");
+                let name = if self.op == Opcode::Cmp {
+                    "cmp"
+                } else {
+                    "test"
+                };
+                match self.src_b {
+                    Some(b) => write!(f, "flags <- {name} {a}, {b}"),
+                    None => write!(f, "flags <- {name} {a}, {:02X}H", self.imm),
+                }
+            }
+            Opcode::Not | Opcode::Neg => {
+                let dst = self.dst.map(|r| r.name()).unwrap_or("?");
+                let a = self.src_a.map(|r| r.name()).unwrap_or("?");
+                let sym = if self.op == Opcode::Not { "~" } else { "-" };
+                write!(f, "{dst}")?;
+                if self.writes_flags {
+                    write!(f, ",flags")?;
+                }
+                write!(f, " <- {sym}{a}")
+            }
+            op => {
+                let dst = self.dst.map(|r| r.name()).unwrap_or("?");
+                let a = self.src_a.map(|r| r.name()).unwrap_or("?");
+                write!(f, "{dst}")?;
+                if self.writes_flags {
+                    write!(f, ",flags")?;
+                }
+                write!(f, " <- {a} {} ", alu_symbol(op))?;
+                match self.src_b {
+                    Some(b) => write!(f, "{b}"),
+                    None => write!(f, "{:02X}H", self.imm),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchReg, Cond};
+
+    #[test]
+    fn paper_notation() {
+        // "SS:[ESP - 04H] <- EBP" (we omit the segment prefix).
+        let st = Uop::store(ArchReg::Esp, -4, ArchReg::Ebp);
+        assert_eq!(st.to_string(), "[ESP - 04H] <- EBP");
+
+        // "ECX <- [ESP + 0CH]"
+        let ld = Uop::load(ArchReg::Ecx, ArchReg::Esp, 0xc);
+        assert_eq!(ld.to_string(), "ECX <- [ESP + 0CH]");
+
+        // "EDX,flags <- ECX | EBX"
+        let or = Uop::alu(Opcode::Or, ArchReg::Edx, ArchReg::Ecx, ArchReg::Ebx);
+        assert_eq!(or.to_string(), "EDX,flags <- ECX | EBX");
+
+        // "assert Z"
+        let a = Uop::assert_cc(Cond::Eq);
+        assert_eq!(a.to_string(), "assert Z");
+
+        // "jump (ET2)"
+        let j = Uop::jmp_ind(ArchReg::Et2);
+        assert_eq!(j.to_string(), "jump (ET2)");
+    }
+
+    #[test]
+    fn every_opcode_renders_nonempty() {
+        for op in Opcode::ALL {
+            let mut u = Uop::new(op);
+            u.dst = Some(ArchReg::Eax);
+            u.src_a = Some(ArchReg::Ebx);
+            u.src_b = Some(ArchReg::Ecx);
+            u.cc = Some(Cond::Eq);
+            assert!(!u.to_string().is_empty(), "{op:?} renders empty");
+        }
+    }
+
+    #[test]
+    fn absolute_address_renders() {
+        let ld = Uop::load_abs(ArchReg::Eax, 0x4000);
+        assert_eq!(ld.to_string(), "EAX <- [00004000H]");
+    }
+}

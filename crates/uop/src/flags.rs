@@ -1,0 +1,175 @@
+//! x86-style condition flags.
+
+use std::fmt;
+
+/// The architectural condition flags written by flag-setting uops and read by
+/// conditional branches, assertions, and flag-consuming ALU ops.
+///
+/// This models the subset of x86 `EFLAGS` that the uop ISA exposes: zero,
+/// sign, carry, overflow, and parity. Auxiliary carry is not modeled (no uop
+/// in our decode flows consumes it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags {
+    /// Zero flag: result was zero.
+    pub zf: bool,
+    /// Sign flag: most significant bit of the result.
+    pub sf: bool,
+    /// Carry flag: unsigned overflow out of the result.
+    pub cf: bool,
+    /// Overflow flag: signed overflow of the result.
+    pub of: bool,
+    /// Parity flag: even parity of the low byte of the result.
+    pub pf: bool,
+}
+
+impl Flags {
+    /// All flags clear.
+    pub const CLEAR: Flags = Flags {
+        zf: false,
+        sf: false,
+        cf: false,
+        of: false,
+        pf: false,
+    };
+
+    /// Creates a cleared flags value.
+    pub fn new() -> Flags {
+        Flags::CLEAR
+    }
+
+    /// Computes the "logical" flags for a result: ZF/SF/PF from the value,
+    /// CF and OF cleared. This is how x86 `AND`, `OR`, `XOR`, and `TEST` set
+    /// flags.
+    pub fn from_logic_result(value: u32) -> Flags {
+        Flags {
+            zf: value == 0,
+            sf: (value as i32) < 0,
+            cf: false,
+            of: false,
+            pf: even_parity(value as u8),
+        }
+    }
+
+    /// Computes flags for an addition `a + b = result`.
+    pub fn from_add(a: u32, b: u32) -> Flags {
+        let (result, carry) = a.overflowing_add(b);
+        let of = ((a ^ result) & (b ^ result)) & 0x8000_0000 != 0;
+        Flags {
+            zf: result == 0,
+            sf: (result as i32) < 0,
+            cf: carry,
+            of,
+            pf: even_parity(result as u8),
+        }
+    }
+
+    /// Computes flags for a subtraction `a - b = result` (also used by `CMP`).
+    pub fn from_sub(a: u32, b: u32) -> Flags {
+        let (result, borrow) = a.overflowing_sub(b);
+        let of = ((a ^ b) & (a ^ result)) & 0x8000_0000 != 0;
+        Flags {
+            zf: result == 0,
+            sf: (result as i32) < 0,
+            cf: borrow,
+            of,
+            pf: even_parity(result as u8),
+        }
+    }
+
+    /// Packs the flags into a small integer (bit 0 = ZF, 1 = SF, 2 = CF,
+    /// 3 = OF, 4 = PF). Useful for hashing and for the trace format.
+    pub fn to_bits(self) -> u8 {
+        (self.zf as u8)
+            | (self.sf as u8) << 1
+            | (self.cf as u8) << 2
+            | (self.of as u8) << 3
+            | (self.pf as u8) << 4
+    }
+
+    /// Unpacks flags from [`Flags::to_bits`] form. Bits above 4 are ignored.
+    pub fn from_bits(bits: u8) -> Flags {
+        Flags {
+            zf: bits & 1 != 0,
+            sf: bits & 2 != 0,
+            cf: bits & 4 != 0,
+            of: bits & 8 != 0,
+            pf: bits & 16 != 0,
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}{}]",
+            if self.zf { 'Z' } else { '-' },
+            if self.sf { 'S' } else { '-' },
+            if self.cf { 'C' } else { '-' },
+            if self.of { 'O' } else { '-' },
+            if self.pf { 'P' } else { '-' },
+        )
+    }
+}
+
+/// True if the byte has an even number of set bits (x86 PF convention).
+fn even_parity(byte: u8) -> bool {
+    byte.count_ones() % 2 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_flags() {
+        let f = Flags::from_logic_result(0);
+        assert!(f.zf && !f.sf && !f.cf && !f.of && f.pf);
+        let f = Flags::from_logic_result(0x8000_0000);
+        assert!(!f.zf && f.sf);
+        // 0x03 has two bits set -> even parity.
+        assert!(Flags::from_logic_result(0x03).pf);
+        // 0x01 has one bit -> odd parity.
+        assert!(!Flags::from_logic_result(0x01).pf);
+    }
+
+    #[test]
+    fn add_flags_carry_and_overflow() {
+        // Unsigned wrap sets CF.
+        let f = Flags::from_add(0xffff_ffff, 1);
+        assert!(f.cf && f.zf && !f.of);
+        // Signed overflow: MAX + 1.
+        let f = Flags::from_add(0x7fff_ffff, 1);
+        assert!(f.of && f.sf && !f.cf);
+        // Plain addition.
+        let f = Flags::from_add(2, 3);
+        assert!(!f.cf && !f.of && !f.zf && !f.sf);
+    }
+
+    #[test]
+    fn sub_flags_borrow_and_overflow() {
+        // 0 - 1 borrows.
+        let f = Flags::from_sub(0, 1);
+        assert!(f.cf && f.sf && !f.zf);
+        // MIN - 1 signed-overflows.
+        let f = Flags::from_sub(0x8000_0000, 1);
+        assert!(f.of && !f.sf);
+        // Equal operands: zero result, no borrow.
+        let f = Flags::from_sub(7, 7);
+        assert!(f.zf && !f.cf && !f.of);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for bits in 0..32u8 {
+            assert_eq!(Flags::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Flags::CLEAR.to_string(), "[-----]");
+        let f = Flags::from_sub(0, 1);
+        assert!(f.to_string().contains('C'));
+    }
+}

@@ -1,0 +1,137 @@
+//! Sparse byte-addressed memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse, byte-addressed, 32-bit memory.
+///
+/// Pages are allocated on first write; reads of untouched memory return
+/// zero. Accesses may be unaligned and may straddle page boundaries. This is
+/// the backing store for both the functional x86 interpreter and the
+/// micro-op machine, and for the verifier's initial/final memory maps.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory (all bytes read as zero).
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page if needed.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian 32-bit word (may be unaligned).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u32));
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian 32-bit word (may be unaligned).
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// Number of resident (written-to) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Removes all contents.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xdead_beef), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u32_roundtrip_aligned_and_unaligned() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0x1000, 0x1234_5678);
+        assert_eq!(m.read_u32(0x1000), 0x1234_5678);
+        // Little-endian byte order.
+        assert_eq!(m.read_u8(0x1000), 0x78);
+        assert_eq!(m.read_u8(0x1003), 0x12);
+        // Unaligned, page-straddling write.
+        m.write_u32(0x1fff, 0xaabb_ccdd);
+        assert_eq!(m.read_u32(0x1fff), 0xaabb_ccdd);
+        assert_eq!(m.read_u8(0x2000), 0xcc);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write_bytes(0x8000, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(0x8000, 5), vec![1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(0x8003, 4), vec![4, 5, 0, 0]);
+    }
+
+    #[test]
+    fn address_wraparound() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0xffff_fffe, 0x0102_0304);
+        assert_eq!(m.read_u32(0xffff_fffe), 0x0102_0304);
+        // LE bytes are [04, 03, 02, 01] starting at 0xffff_fffe, so the
+        // third byte lands at address 0.
+        assert_eq!(m.read_u8(0), 0x02, "wraps to address 0");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = SparseMemory::new();
+        m.write_u8(42, 7);
+        assert_eq!(m.resident_pages(), 1);
+        m.clear();
+        assert_eq!(m.read_u8(42), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+}

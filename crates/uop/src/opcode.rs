@@ -1,0 +1,286 @@
+//! Micro-operation opcodes.
+
+use std::fmt;
+
+/// The opcode of a micro-operation.
+///
+/// The rePLay internal ISA is a generic, three-operand RISC ISA (the paper
+/// models it this way because real x86 micro-op formats are proprietary,
+/// §5.1.1). ALU opcodes take two register sources, or one register source and
+/// an immediate when `src_b` is absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `dst = a + b` (or `a + imm`).
+    Add,
+    /// `dst = a - b` (or `a - imm`).
+    Sub,
+    /// `dst = a & b`.
+    And,
+    /// `dst = a | b`.
+    Or,
+    /// `dst = a ^ b`.
+    Xor,
+    /// `dst = a << (b & 31)`.
+    Shl,
+    /// `dst = a >> (b & 31)` (logical).
+    Shr,
+    /// `dst = a >> (b & 31)` (arithmetic).
+    Sar,
+    /// `dst = low32(a * b)` — two-operand signed multiply.
+    Mul,
+    /// `dst = a / b` — unsigned quotient (x86 `DIV` quotient half).
+    Div,
+    /// `dst = a % b` — unsigned remainder (x86 `DIV` remainder half).
+    Rem,
+    /// `dst = !a`.
+    Not,
+    /// `dst = -a`.
+    Neg,
+    /// `dst = a` — register move.
+    Mov,
+    /// `dst = imm` — immediate move.
+    MovImm,
+    /// `dst = a + b*scale + imm` — address arithmetic, never writes flags.
+    Lea,
+    /// Compare: compute flags of `a - b` (or `a - imm`); no value result.
+    Cmp,
+    /// Test: compute flags of `a & b` (or `a & imm`); no value result.
+    Test,
+    /// `dst = mem32[a + b*scale + imm]`.
+    Load,
+    /// `mem32[a + imm] = b`.
+    Store,
+    /// Unconditional direct jump to `target`.
+    Jmp,
+    /// Indirect jump to the address in `a`.
+    JmpInd,
+    /// Conditional branch on `cc` over the incoming flags, to `target`.
+    Br,
+    /// Assertion on `cc` over the incoming flags. Fires (rolls the frame
+    /// back) when the condition does **not** hold. Frame-only.
+    Assert,
+    /// Fused compare-and-assert: assert `cc` over the flags of `a - b`
+    /// (or `a - imm`). Produced by the value-assertion optimization.
+    AssertCmp,
+    /// Fused test-and-assert: assert `cc` over the flags of `a & b`
+    /// (or `a & imm`). Produced by the value-assertion optimization.
+    AssertTest,
+    /// No operation.
+    Nop,
+    /// Serializing marker: long-flow x86 instructions (segment-descriptor
+    /// modifiers, call gates, interrupts) flush the pipeline (§5.1.1).
+    Fence,
+}
+
+/// Coarse classification of an opcode, used by the timing model to pick a
+/// functional unit and by the optimizer to gate transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpcodeClass {
+    /// Single-cycle integer ALU operation.
+    SimpleAlu,
+    /// Multi-cycle integer operation (`Mul`, `Div`, `Rem`).
+    ComplexAlu,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Control transfer (jumps and conditional branches).
+    Branch,
+    /// Assertion (including fused compare/test asserts).
+    Assert,
+    /// `Nop` / `Fence`.
+    Other,
+}
+
+impl Opcode {
+    /// All opcodes, for exhaustive testing.
+    pub const ALL: [Opcode; 28] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Sar,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::Not,
+        Opcode::Neg,
+        Opcode::Mov,
+        Opcode::MovImm,
+        Opcode::Lea,
+        Opcode::Cmp,
+        Opcode::Test,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Jmp,
+        Opcode::JmpInd,
+        Opcode::Br,
+        Opcode::Assert,
+        Opcode::AssertCmp,
+        Opcode::AssertTest,
+        Opcode::Nop,
+        Opcode::Fence,
+    ];
+
+    /// Classifies the opcode for functional-unit selection.
+    pub fn class(self) -> OpcodeClass {
+        use Opcode::*;
+        match self {
+            Mul | Div | Rem => OpcodeClass::ComplexAlu,
+            Load => OpcodeClass::Load,
+            Store => OpcodeClass::Store,
+            Jmp | JmpInd | Br => OpcodeClass::Branch,
+            Assert | AssertCmp | AssertTest => OpcodeClass::Assert,
+            Nop | Fence => OpcodeClass::Other,
+            _ => OpcodeClass::SimpleAlu,
+        }
+    }
+
+    /// True for ALU opcodes that compute a value from register/immediate
+    /// inputs (everything evaluable by [`crate::eval_alu`]).
+    pub fn is_alu(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Add | Sub
+                | And
+                | Or
+                | Xor
+                | Shl
+                | Shr
+                | Sar
+                | Mul
+                | Div
+                | Rem
+                | Not
+                | Neg
+                | Mov
+                | MovImm
+                | Lea
+                | Cmp
+                | Test
+        )
+    }
+
+    /// True for opcodes whose *only* result is flags (`Cmp`, `Test`).
+    pub fn is_flags_only(self) -> bool {
+        matches!(self, Opcode::Cmp | Opcode::Test)
+    }
+
+    /// True for memory opcodes.
+    pub fn is_mem(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// True for control-transfer opcodes (not assertions).
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::Jmp | Opcode::JmpInd | Opcode::Br)
+    }
+
+    /// True for assertion opcodes (plain or fused).
+    pub fn is_assert(self) -> bool {
+        matches!(
+            self,
+            Opcode::Assert | Opcode::AssertCmp | Opcode::AssertTest
+        )
+    }
+
+    /// True if the opcode is commutative in its two register sources.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add | Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Mul
+        )
+    }
+
+    /// Short lowercase mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Sar => "sar",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            Not => "not",
+            Neg => "neg",
+            Mov => "mov",
+            MovImm => "movi",
+            Lea => "lea",
+            Cmp => "cmp",
+            Test => "test",
+            Load => "ld",
+            Store => "st",
+            Jmp => "jmp",
+            JmpInd => "jmpi",
+            Br => "br",
+            Assert => "assert",
+            AssertCmp => "assertc",
+            AssertTest => "assertt",
+            Nop => "nop",
+            Fence => "fence",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_partitions() {
+        for op in Opcode::ALL {
+            // Every opcode has exactly one class.
+            let c = op.class();
+            match c {
+                OpcodeClass::Load => assert!(op.is_mem()),
+                OpcodeClass::Store => assert!(op.is_mem()),
+                OpcodeClass::Branch => assert!(op.is_branch()),
+                OpcodeClass::Assert => assert!(op.is_assert()),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn alu_subset() {
+        assert!(Opcode::Add.is_alu());
+        assert!(Opcode::Lea.is_alu());
+        assert!(!Opcode::Load.is_alu());
+        assert!(!Opcode::Br.is_alu());
+        assert!(Opcode::Cmp.is_flags_only());
+        assert!(!Opcode::Add.is_flags_only());
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(Opcode::Add.is_commutative());
+        assert!(Opcode::Xor.is_commutative());
+        assert!(!Opcode::Sub.is_commutative());
+        assert!(!Opcode::Shl.is_commutative());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {op}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Functional semantics of ALU micro-operations.
+//!
+//! The evaluator here is the single source of truth for what an ALU uop
+//! computes. It is used by the architectural machine ([`crate::MachineState`]),
+//! by the optimizer's constant-propagation pass, and by the state verifier —
+//! all three see identical results by construction.
+
+use crate::{Flags, Opcode};
+
+/// The result of evaluating an ALU micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluResult {
+    /// The 32-bit value result. Flags-only ops (`Cmp`, `Test`) report the
+    /// value of the underlying arithmetic, which is discarded by callers.
+    pub value: u32,
+    /// The flags the operation would set if it writes flags.
+    pub flags: Flags,
+}
+
+/// Errors from ALU evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluError {
+    /// Division or remainder by zero (x86 `#DE`).
+    DivideByZero,
+    /// The opcode is not an ALU opcode.
+    NotAlu(Opcode),
+}
+
+impl std::fmt::Display for AluError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AluError::DivideByZero => write!(f, "division by zero"),
+            AluError::NotAlu(op) => write!(f, "opcode {op} is not an ALU operation"),
+        }
+    }
+}
+
+impl std::error::Error for AluError {}
+
+/// Evaluates an ALU micro-operation over concrete operands.
+///
+/// `a` and `b` are the resolved source values; for register-immediate forms
+/// the caller passes the (sign-extended) immediate as `b`. For `MovImm` only
+/// `b` is meaningful. For `Lea` the caller must pre-scale: pass
+/// `index*scale + disp` as `b`.
+///
+/// Flag semantics are simplified relative to real x86 in two documented
+/// ways: shifts set ZF/SF/PF from the result with CF/OF cleared (real x86
+/// sets CF from the last bit shifted out), and `Mul` sets CF=OF when the
+/// signed product overflows 32 bits. Neither simplification is observable by
+/// the translated code: our decode flows never consume flags produced by
+/// shifts or multiplies.
+///
+/// # Errors
+///
+/// Returns [`AluError::DivideByZero`] for `Div`/`Rem` with `b == 0`, and
+/// [`AluError::NotAlu`] if `op` is not an ALU opcode.
+pub fn eval_alu(op: Opcode, a: u32, b: u32) -> Result<AluResult, AluError> {
+    let r = match op {
+        Opcode::Add => AluResult {
+            value: a.wrapping_add(b),
+            flags: Flags::from_add(a, b),
+        },
+        Opcode::Sub => AluResult {
+            value: a.wrapping_sub(b),
+            flags: Flags::from_sub(a, b),
+        },
+        Opcode::Cmp => AluResult {
+            value: a.wrapping_sub(b),
+            flags: Flags::from_sub(a, b),
+        },
+        Opcode::And | Opcode::Test => AluResult {
+            value: a & b,
+            flags: Flags::from_logic_result(a & b),
+        },
+        Opcode::Or => AluResult {
+            value: a | b,
+            flags: Flags::from_logic_result(a | b),
+        },
+        Opcode::Xor => AluResult {
+            value: a ^ b,
+            flags: Flags::from_logic_result(a ^ b),
+        },
+        Opcode::Shl => {
+            let v = a.wrapping_shl(b & 31);
+            AluResult {
+                value: v,
+                flags: Flags::from_logic_result(v),
+            }
+        }
+        Opcode::Shr => {
+            let v = a.wrapping_shr(b & 31);
+            AluResult {
+                value: v,
+                flags: Flags::from_logic_result(v),
+            }
+        }
+        Opcode::Sar => {
+            let v = ((a as i32).wrapping_shr(b & 31)) as u32;
+            AluResult {
+                value: v,
+                flags: Flags::from_logic_result(v),
+            }
+        }
+        Opcode::Mul => {
+            let wide = (a as i32 as i64).wrapping_mul(b as i32 as i64);
+            let v = wide as u32;
+            let overflow = wide != v as i32 as i64;
+            let mut flags = Flags::from_logic_result(v);
+            flags.cf = overflow;
+            flags.of = overflow;
+            AluResult { value: v, flags }
+        }
+        Opcode::Div => {
+            if b == 0 {
+                return Err(AluError::DivideByZero);
+            }
+            let v = a / b;
+            AluResult {
+                value: v,
+                flags: Flags::CLEAR,
+            }
+        }
+        Opcode::Rem => {
+            if b == 0 {
+                return Err(AluError::DivideByZero);
+            }
+            let v = a % b;
+            AluResult {
+                value: v,
+                flags: Flags::CLEAR,
+            }
+        }
+        Opcode::Not => AluResult {
+            value: !a,
+            flags: Flags::CLEAR,
+        },
+        Opcode::Neg => {
+            let v = 0u32.wrapping_sub(a);
+            AluResult {
+                value: v,
+                flags: Flags::from_sub(0, a),
+            }
+        }
+        Opcode::Mov => AluResult {
+            value: a,
+            flags: Flags::CLEAR,
+        },
+        Opcode::MovImm => AluResult {
+            value: b,
+            flags: Flags::CLEAR,
+        },
+        Opcode::Lea => AluResult {
+            value: a.wrapping_add(b),
+            flags: Flags::CLEAR,
+        },
+        other => return Err(AluError::NotAlu(other)),
+    };
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_alu(Opcode::Add, 2, 3).unwrap().value, 5);
+        assert_eq!(eval_alu(Opcode::Sub, 2, 3).unwrap().value, u32::MAX);
+        assert_eq!(eval_alu(Opcode::Mul, 6, 7).unwrap().value, 42);
+        assert_eq!(eval_alu(Opcode::Div, 42, 5).unwrap().value, 8);
+        assert_eq!(eval_alu(Opcode::Rem, 42, 5).unwrap().value, 2);
+        assert_eq!(eval_alu(Opcode::Neg, 1, 0).unwrap().value, u32::MAX);
+        assert_eq!(eval_alu(Opcode::Not, 0, 0).unwrap().value, u32::MAX);
+    }
+
+    #[test]
+    fn logic_and_shifts() {
+        assert_eq!(eval_alu(Opcode::And, 0b1100, 0b1010).unwrap().value, 0b1000);
+        assert_eq!(eval_alu(Opcode::Or, 0b1100, 0b1010).unwrap().value, 0b1110);
+        assert_eq!(eval_alu(Opcode::Xor, 0b1100, 0b1010).unwrap().value, 0b0110);
+        assert_eq!(eval_alu(Opcode::Shl, 1, 4).unwrap().value, 16);
+        assert_eq!(eval_alu(Opcode::Shr, 0x8000_0000, 31).unwrap().value, 1);
+        assert_eq!(
+            eval_alu(Opcode::Sar, 0x8000_0000, 31).unwrap().value,
+            u32::MAX
+        );
+        // Shift counts are masked to 5 bits, as on x86.
+        assert_eq!(eval_alu(Opcode::Shl, 1, 32).unwrap().value, 1);
+    }
+
+    #[test]
+    fn moves() {
+        assert_eq!(eval_alu(Opcode::Mov, 9, 0).unwrap().value, 9);
+        assert_eq!(eval_alu(Opcode::MovImm, 0, 77).unwrap().value, 77);
+        assert_eq!(eval_alu(Opcode::Lea, 100, 28).unwrap().value, 128);
+        assert!(!eval_alu(Opcode::Mov, 0, 0).unwrap().flags.zf || true);
+    }
+
+    #[test]
+    fn divide_by_zero() {
+        assert_eq!(
+            eval_alu(Opcode::Div, 1, 0).unwrap_err(),
+            AluError::DivideByZero
+        );
+        assert_eq!(
+            eval_alu(Opcode::Rem, 1, 0).unwrap_err(),
+            AluError::DivideByZero
+        );
+    }
+
+    #[test]
+    fn non_alu_rejected() {
+        assert!(matches!(
+            eval_alu(Opcode::Load, 0, 0),
+            Err(AluError::NotAlu(Opcode::Load))
+        ));
+        assert!(matches!(
+            eval_alu(Opcode::Br, 0, 0),
+            Err(AluError::NotAlu(_))
+        ));
+    }
+
+    #[test]
+    fn cmp_test_flags_match_sub_and() {
+        let c = eval_alu(Opcode::Cmp, 5, 5).unwrap();
+        assert!(c.flags.zf);
+        let t = eval_alu(Opcode::Test, 0b01, 0b10).unwrap();
+        assert!(t.flags.zf);
+    }
+
+    #[test]
+    fn mul_overflow_flags() {
+        let r = eval_alu(Opcode::Mul, 0x0001_0000, 0x0001_0000).unwrap();
+        assert!(r.flags.cf && r.flags.of);
+        let r = eval_alu(Opcode::Mul, 3, 4).unwrap();
+        assert!(!r.flags.cf && !r.flags.of);
+    }
+}

@@ -1,0 +1,37 @@
+//! # replay-verify
+//!
+//! The **State Verifier** of the simulation environment (paper §5.1.3).
+//!
+//! The verifier's job is two-fold:
+//!
+//! 1. check that decode flows are correct — every executed x86 instruction's
+//!    register state changes and memory transactions must match the trace
+//!    (this reproduction generates traces *from* the decode flows, so that
+//!    direction is exercised by the `replay-x86` test suite), and
+//! 2. validate the optimizer: an optimized frame, executed from the
+//!    machine state at its fetch point, must transform architectural
+//!    register state and memory exactly as the original instruction
+//!    sequence does.
+//!
+//! Two checking styles are provided:
+//!
+//! * [`verify_against_records`] — the paper's construction: build an
+//!   *initial memory map* (first-touch values per address) and a *final
+//!   memory map* (last store per address) from the original trace records,
+//!   execute the frame against the initial map, and require that (1) every
+//!   load hits the initial map, (2) the final memory state matches, and
+//!   (3) the architectural registers match at the frame boundary.
+//! * [`verify_differential`] — run the unoptimized and optimized forms of
+//!   a frame from the same machine state and compare outcomes and final
+//!   states; usable as an always-on spot check inside the simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod maps;
+mod verifier;
+
+pub use maps::MemoryMaps;
+pub use verifier::{
+    verify_against_records, verify_differential, Verifier, VerifyError, VerifyStats,
+};

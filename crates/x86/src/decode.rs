@@ -1,0 +1,515 @@
+//! IA-32 byte-level decoder for the instruction subset.
+
+use crate::{AluOp, CondX86, Gpr, Inst, MemOperand, ShiftOp};
+use std::fmt;
+
+/// Errors from instruction decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended in the middle of an instruction.
+    Truncated,
+    /// The opcode byte(s) are not part of the supported subset.
+    UnknownOpcode(u8),
+    /// A two-byte `0F xx` opcode outside the subset.
+    UnknownOpcode0f(u8),
+    /// A ModRM extension (`/n`) combination outside the subset.
+    UnknownExtension {
+        /// The opcode byte.
+        opcode: u8,
+        /// The reg-field extension.
+        ext: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            DecodeError::UnknownOpcode0f(b) => write!(f, "unknown opcode 0f {b:#04x}"),
+            DecodeError::UnknownExtension { opcode, ext } => {
+                write!(f, "unknown extension {opcode:#04x} /{ext}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    code: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.code.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let mut bytes = [0u8; 4];
+        for b in &mut bytes {
+            *b = self.u8()?;
+        }
+        Ok(i32::from_le_bytes(bytes))
+    }
+}
+
+/// A decoded ModRM operand: either a register or a memory operand.
+enum Rm {
+    Reg(Gpr),
+    Mem(MemOperand),
+}
+
+/// Parses a ModRM byte (plus SIB/displacement) and returns the reg field
+/// and the r/m operand.
+fn modrm(r: &mut Reader<'_>) -> Result<(u8, Rm), DecodeError> {
+    let byte = r.u8()?;
+    let modbits = byte >> 6;
+    let reg = (byte >> 3) & 7;
+    let rm = byte & 7;
+
+    if modbits == 0b11 {
+        let g = Gpr::from_code(rm).expect("3-bit code");
+        return Ok((reg, Rm::Reg(g)));
+    }
+
+    let (base, index) = if rm == 0b100 {
+        // SIB byte.
+        let sib = r.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let idx = (sib >> 3) & 7;
+        let base_code = sib & 7;
+        let index = if idx == 0b100 {
+            None
+        } else {
+            Some((Gpr::from_code(idx).expect("3-bit code"), scale))
+        };
+        let base = if base_code == 0b101 && modbits == 0b00 {
+            None // disp32 with no base
+        } else {
+            Some(Gpr::from_code(base_code).expect("3-bit code"))
+        };
+        (base, index)
+    } else if rm == 0b101 && modbits == 0b00 {
+        (None, None) // disp32 absolute
+    } else {
+        (Some(Gpr::from_code(rm).expect("3-bit code")), None)
+    };
+
+    let disp = match modbits {
+        0b00 => {
+            if base.is_none() {
+                r.i32()?
+            } else {
+                0
+            }
+        }
+        0b01 => r.i8()? as i32,
+        _ => r.i32()?,
+    };
+
+    Ok((reg, Rm::Mem(MemOperand { base, index, disp })))
+}
+
+/// Decodes one instruction.
+///
+/// `code` must start at the instruction's first byte; `addr` is the
+/// instruction's absolute address (used to resolve rel32 branch targets).
+/// Returns the instruction and its encoded length in bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the bytes are truncated or are not a valid
+/// encoding of the supported subset.
+///
+/// # Example
+///
+/// ```
+/// use replay_x86::{decode, Gpr, Inst};
+/// let (inst, len) = decode(&[0x55], 0x1000)?;
+/// assert_eq!(inst, Inst::PushR { src: Gpr::Ebp });
+/// assert_eq!(len, 1);
+/// # Ok::<(), replay_x86::DecodeError>(())
+/// ```
+pub fn decode(code: &[u8], addr: u32) -> Result<(Inst, u8), DecodeError> {
+    let mut r = Reader { code, pos: 0 };
+    let op = r.u8()?;
+
+    let inst = match op {
+        0x50..=0x57 => Inst::PushR {
+            src: Gpr::from_code(op - 0x50).expect("3-bit code"),
+        },
+        0x58..=0x5f => Inst::PopR {
+            dst: Gpr::from_code(op - 0x58).expect("3-bit code"),
+        },
+        0x40..=0x47 => Inst::IncR {
+            r: Gpr::from_code(op - 0x40).expect("3-bit code"),
+        },
+        0x48..=0x4f => Inst::DecR {
+            r: Gpr::from_code(op - 0x48).expect("3-bit code"),
+        },
+        0xb8..=0xbf => Inst::MovRI {
+            dst: Gpr::from_code(op - 0xb8).expect("3-bit code"),
+            imm: r.i32()?,
+        },
+        0x68 => Inst::PushI { imm: r.i32()? },
+        0x89 => match modrm(&mut r)? {
+            (reg, Rm::Reg(dst)) => Inst::MovRR {
+                dst,
+                src: Gpr::from_code(reg).expect("3-bit code"),
+            },
+            (reg, Rm::Mem(mem)) => Inst::MovMR {
+                mem,
+                src: Gpr::from_code(reg).expect("3-bit code"),
+            },
+        },
+        0x8b => match modrm(&mut r)? {
+            (reg, Rm::Reg(src)) => Inst::MovRR {
+                dst: Gpr::from_code(reg).expect("3-bit code"),
+                src,
+            },
+            (reg, Rm::Mem(mem)) => Inst::MovRM {
+                dst: Gpr::from_code(reg).expect("3-bit code"),
+                mem,
+            },
+        },
+        0xc7 => match modrm(&mut r)? {
+            (0, Rm::Mem(mem)) => Inst::MovMI { mem, imm: r.i32()? },
+            (0, Rm::Reg(dst)) => Inst::MovRI { dst, imm: r.i32()? },
+            (ext, _) => return Err(DecodeError::UnknownExtension { opcode: op, ext }),
+        },
+        0x8d => match modrm(&mut r)? {
+            (reg, Rm::Mem(mem)) => Inst::Lea {
+                dst: Gpr::from_code(reg).expect("3-bit code"),
+                mem,
+            },
+            _ => return Err(DecodeError::UnknownOpcode(op)),
+        },
+        // ALU op r/m32, r32 forms.
+        0x01 | 0x09 | 0x21 | 0x29 | 0x31 => {
+            let alu = alu_from_mr_opcode(op).expect("listed opcodes");
+            match modrm(&mut r)? {
+                (reg, Rm::Reg(dst)) => Inst::AluRR {
+                    op: alu,
+                    dst,
+                    src: Gpr::from_code(reg).expect("3-bit code"),
+                },
+                (reg, Rm::Mem(mem)) => Inst::AluMR {
+                    op: alu,
+                    mem,
+                    src: Gpr::from_code(reg).expect("3-bit code"),
+                },
+            }
+        }
+        // ALU op r32, r/m32 forms.
+        0x03 | 0x0b | 0x23 | 0x2b | 0x33 => {
+            let alu = alu_from_mr_opcode(op - 2).expect("listed opcodes");
+            match modrm(&mut r)? {
+                (reg, Rm::Reg(src)) => Inst::AluRR {
+                    op: alu,
+                    dst: Gpr::from_code(reg).expect("3-bit code"),
+                    src,
+                },
+                (reg, Rm::Mem(mem)) => Inst::AluRM {
+                    op: alu,
+                    dst: Gpr::from_code(reg).expect("3-bit code"),
+                    mem,
+                },
+            }
+        }
+        0x39 => match modrm(&mut r)? {
+            (reg, Rm::Reg(a)) => Inst::CmpRR {
+                a,
+                b: Gpr::from_code(reg).expect("3-bit code"),
+            },
+            _ => return Err(DecodeError::UnknownOpcode(op)),
+        },
+        0x3b => match modrm(&mut r)? {
+            (reg, Rm::Mem(mem)) => Inst::CmpRM {
+                a: Gpr::from_code(reg).expect("3-bit code"),
+                mem,
+            },
+            (reg, Rm::Reg(b)) => Inst::CmpRR {
+                a: Gpr::from_code(reg).expect("3-bit code"),
+                b,
+            },
+        },
+        0x85 => match modrm(&mut r)? {
+            (reg, Rm::Reg(a)) => Inst::TestRR {
+                a,
+                b: Gpr::from_code(reg).expect("3-bit code"),
+            },
+            _ => return Err(DecodeError::UnknownOpcode(op)),
+        },
+        0x81 => match modrm(&mut r)? {
+            (7, Rm::Reg(a)) => Inst::CmpRI { a, imm: r.i32()? },
+            (ext, Rm::Reg(dst)) => match AluOp::from_ext(ext) {
+                Some(alu) => Inst::AluRI {
+                    op: alu,
+                    dst,
+                    imm: r.i32()?,
+                },
+                None => return Err(DecodeError::UnknownExtension { opcode: op, ext }),
+            },
+            (ext, Rm::Mem(_)) => return Err(DecodeError::UnknownExtension { opcode: op, ext }),
+        },
+        0xf7 => match modrm(&mut r)? {
+            (0, Rm::Reg(a)) => Inst::TestRI { a, imm: r.i32()? },
+            (2, Rm::Reg(reg)) => Inst::NotR { r: reg },
+            (3, Rm::Reg(reg)) => Inst::NegR { r: reg },
+            (6, Rm::Reg(src)) => Inst::DivR { src },
+            (ext, _) => return Err(DecodeError::UnknownExtension { opcode: op, ext }),
+        },
+        0xc1 => match modrm(&mut r)? {
+            (ext, Rm::Reg(reg)) => match ShiftOp::from_ext(ext) {
+                Some(shift) => Inst::ShiftRI {
+                    op: shift,
+                    r: reg,
+                    imm: r.u8()?,
+                },
+                None => return Err(DecodeError::UnknownExtension { opcode: op, ext }),
+            },
+            (ext, _) => return Err(DecodeError::UnknownExtension { opcode: op, ext }),
+        },
+        0x69 => match modrm(&mut r)? {
+            (reg, Rm::Reg(src)) => Inst::ImulRRI {
+                dst: Gpr::from_code(reg).expect("3-bit code"),
+                src,
+                imm: r.i32()?,
+            },
+            _ => return Err(DecodeError::UnknownOpcode(op)),
+        },
+        0x99 => Inst::Cdq,
+        0xe9 => {
+            let rel = r.i32()?;
+            Inst::Jmp {
+                target: addr.wrapping_add(5).wrapping_add(rel as u32),
+            }
+        }
+        0xe8 => {
+            let rel = r.i32()?;
+            Inst::Call {
+                target: addr.wrapping_add(5).wrapping_add(rel as u32),
+            }
+        }
+        0xff => match modrm(&mut r)? {
+            (4, Rm::Reg(reg)) => Inst::JmpInd { r: reg },
+            (ext, _) => return Err(DecodeError::UnknownExtension { opcode: op, ext }),
+        },
+        0xc3 => Inst::Ret,
+        0x90 => Inst::Nop,
+        0x0f => {
+            let op2 = r.u8()?;
+            match op2 {
+                0x80..=0x8f => {
+                    let cc = CondX86::from_tttn(op2 - 0x80).expect("4-bit tttn");
+                    let rel = r.i32()?;
+                    Inst::Jcc {
+                        cc,
+                        target: addr.wrapping_add(6).wrapping_add(rel as u32),
+                    }
+                }
+                0xaf => match modrm(&mut r)? {
+                    (reg, Rm::Reg(src)) => Inst::ImulRR {
+                        dst: Gpr::from_code(reg).expect("3-bit code"),
+                        src,
+                    },
+                    _ => return Err(DecodeError::UnknownOpcode0f(op2)),
+                },
+                0x0b => Inst::LongFlow,
+                other => return Err(DecodeError::UnknownOpcode0f(other)),
+            }
+        }
+        other => return Err(DecodeError::UnknownOpcode(other)),
+    };
+
+    Ok((inst, r.pos as u8))
+}
+
+fn alu_from_mr_opcode(op: u8) -> Option<AluOp> {
+    Some(match op {
+        0x01 => AluOp::Add,
+        0x09 => AluOp::Or,
+        0x21 => AluOp::And,
+        0x29 => AluOp::Sub,
+        0x31 => AluOp::Xor,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    /// Every instruction in this list must round-trip through
+    /// encode → decode at several addresses.
+    fn samples() -> Vec<Inst> {
+        use Gpr::*;
+        vec![
+            Inst::MovRR { dst: Eax, src: Ebx },
+            Inst::MovRI { dst: Edi, imm: -7 },
+            Inst::MovRM {
+                dst: Ecx,
+                mem: MemOperand::base_disp(Esp, 0xc),
+            },
+            Inst::MovRM {
+                dst: Eax,
+                mem: MemOperand::base_index(Ebx, Ecx, 4, 0x10),
+            },
+            Inst::MovRM {
+                dst: Eax,
+                mem: MemOperand::absolute(0x8000),
+            },
+            Inst::MovMR {
+                mem: MemOperand::base_disp(Ebp, -8),
+                src: Esi,
+            },
+            Inst::MovMI {
+                mem: MemOperand::base_disp(Esp, 4),
+                imm: 42,
+            },
+            Inst::Lea {
+                dst: Eax,
+                mem: MemOperand::base_index(Esi, Edi, 2, -3),
+            },
+            Inst::PushR { src: Ebp },
+            Inst::PushI { imm: 0x1234 },
+            Inst::PopR { dst: Ebx },
+            Inst::AluRR {
+                op: AluOp::Add,
+                dst: Eax,
+                src: Ecx,
+            },
+            Inst::AluRI {
+                op: AluOp::Sub,
+                dst: Esp,
+                imm: 0x18,
+            },
+            Inst::AluRM {
+                op: AluOp::Xor,
+                dst: Edx,
+                mem: MemOperand::base_disp(Ebx, 0x20),
+            },
+            Inst::AluMR {
+                op: AluOp::Or,
+                mem: MemOperand::base_disp(Esp, 0),
+                src: Eax,
+            },
+            Inst::CmpRR { a: Eax, b: Ebx },
+            Inst::CmpRI { a: Ecx, imm: 100 },
+            Inst::CmpRM {
+                a: Edx,
+                mem: MemOperand::base_disp(Esi, 4),
+            },
+            Inst::TestRR { a: Eax, b: Eax },
+            Inst::TestRI { a: Ebx, imm: 1 },
+            Inst::IncR { r: Esi },
+            Inst::DecR { r: Ecx },
+            Inst::NegR { r: Eax },
+            Inst::NotR { r: Edx },
+            Inst::ShiftRI {
+                op: ShiftOp::Shl,
+                r: Eax,
+                imm: 3,
+            },
+            Inst::ShiftRI {
+                op: ShiftOp::Sar,
+                r: Edx,
+                imm: 31,
+            },
+            Inst::ImulRR { dst: Eax, src: Ebx },
+            Inst::ImulRRI {
+                dst: Ecx,
+                src: Edx,
+                imm: 10,
+            },
+            Inst::DivR { src: Ebx },
+            Inst::Cdq,
+            Inst::Jmp { target: 0x4000 },
+            Inst::Jcc {
+                cc: CondX86::Nz,
+                target: 0x4100,
+            },
+            Inst::JmpInd { r: Eax },
+            Inst::Call { target: 0x5000 },
+            Inst::Ret,
+            Inst::Nop,
+            Inst::LongFlow,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_samples() {
+        for inst in samples() {
+            for addr in [0u32, 0x40_0000, 0xffff_fff0] {
+                let bytes = encode(&inst, addr);
+                let (decoded, len) = decode(&bytes, addr).unwrap_or_else(|e| panic!("{inst}: {e}"));
+                assert_eq!(decoded, inst, "at addr {addr:#x}");
+                assert_eq!(len as usize, bytes.len(), "{inst}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_reported() {
+        let bytes = encode(
+            &Inst::MovRI {
+                dst: Gpr::Eax,
+                imm: 0x12345678,
+            },
+            0,
+        );
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..cut], 0).unwrap_err(),
+                DecodeError::Truncated
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_reported() {
+        assert_eq!(
+            decode(&[0xcc], 0).unwrap_err(),
+            DecodeError::UnknownOpcode(0xcc)
+        );
+        assert_eq!(
+            decode(&[0x0f, 0xa2], 0).unwrap_err(),
+            DecodeError::UnknownOpcode0f(0xa2)
+        );
+    }
+
+    #[test]
+    fn decode_stream() {
+        // A small prologue: PUSH EBP; PUSH EBX; MOV ECX,[ESP+0xC].
+        let insts = [
+            Inst::PushR { src: Gpr::Ebp },
+            Inst::PushR { src: Gpr::Ebx },
+            Inst::MovRM {
+                dst: Gpr::Ecx,
+                mem: MemOperand::base_disp(Gpr::Esp, 0xc),
+            },
+        ];
+        let mut image = Vec::new();
+        let base = 0x40_0000u32;
+        for i in &insts {
+            let addr = base + image.len() as u32;
+            image.extend(encode(i, addr));
+        }
+        let mut pos = 0usize;
+        for want in &insts {
+            let (got, len) = decode(&image[pos..], base + pos as u32).unwrap();
+            assert_eq!(&got, want);
+            pos += len as usize;
+        }
+        assert_eq!(pos, image.len());
+    }
+}

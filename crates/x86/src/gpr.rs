@@ -1,0 +1,110 @@
+//! The eight x86 general-purpose registers.
+
+use replay_uop::ArchReg;
+use std::fmt;
+
+/// An x86 general-purpose register.
+///
+/// Distinct from [`ArchReg`] so that the x86 instruction model can never
+/// name a uop-level temporary: the type system enforces the paper's
+/// observation that temporaries "are not visible to the compiler".
+/// Discriminants are the IA-32 register encoding codes used in ModRM/SIB
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Gpr {
+    /// `EAX` (code 0).
+    Eax = 0,
+    /// `ECX` (code 1).
+    Ecx = 1,
+    /// `EDX` (code 2).
+    Edx = 2,
+    /// `EBX` (code 3).
+    Ebx = 3,
+    /// `ESP` (code 4).
+    Esp = 4,
+    /// `EBP` (code 5).
+    Ebp = 5,
+    /// `ESI` (code 6).
+    Esi = 6,
+    /// `EDI` (code 7).
+    Edi = 7,
+}
+
+impl Gpr {
+    /// All GPRs in encoding order.
+    pub const ALL: [Gpr; 8] = [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Esp,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+    ];
+
+    /// The IA-32 register code (0–7) used in ModRM/SIB encodings.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Reconstructs a register from its encoding code.
+    ///
+    /// Returns `None` if `code > 7`.
+    pub fn from_code(code: u8) -> Option<Gpr> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// The corresponding architectural register at the uop level.
+    #[inline]
+    pub fn to_arch(self) -> ArchReg {
+        // Gpr codes and ArchReg GPR indices coincide by construction.
+        ArchReg::from_index(self as usize).expect("GPR codes are < NUM_ARCH_REGS")
+    }
+
+    /// Register name, e.g. `"EAX"`.
+    pub fn name(self) -> &'static str {
+        self.to_arch().name()
+    }
+}
+
+impl From<Gpr> for ArchReg {
+    fn from(g: Gpr) -> ArchReg {
+        g.to_arch()
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for g in Gpr::ALL {
+            assert_eq!(Gpr::from_code(g.code()), Some(g));
+        }
+        assert_eq!(Gpr::from_code(8), None);
+    }
+
+    #[test]
+    fn arch_mapping_is_gpr() {
+        for g in Gpr::ALL {
+            assert!(g.to_arch().is_gpr());
+            assert_eq!(g.to_arch().index(), g.code() as usize);
+        }
+    }
+
+    #[test]
+    fn names_match_arch() {
+        assert_eq!(Gpr::Esp.name(), "ESP");
+        assert_eq!(Gpr::Eax.to_string(), "EAX");
+    }
+}

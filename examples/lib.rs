@@ -1,0 +1,1 @@
+//! Shared helpers for the examples (currently none; the examples are self-contained).

@@ -1,0 +1,162 @@
+//! Property tests for the byte-level x86 codec and the trace file format:
+//! everything the encoder emits must decode back to itself, and trace files
+//! must round-trip exactly.
+
+use proptest::prelude::*;
+use replay_trace::{read_trace, write_trace, Trace, TraceRecord};
+use replay_x86::{decode, encode, AluOp, CondX86, Gpr, Inst, MemOperand, ShiftOp};
+
+fn arb_gpr() -> impl Strategy<Value = Gpr> {
+    prop::sample::select(&Gpr::ALL[..])
+}
+
+fn arb_index() -> impl Strategy<Value = Gpr> {
+    // ESP cannot be an index register.
+    prop::sample::select(
+        Gpr::ALL
+            .into_iter()
+            .filter(|g| *g != Gpr::Esp)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn arb_mem() -> impl Strategy<Value = MemOperand> {
+    prop_oneof![
+        (arb_gpr(), any::<i16>()).prop_map(|(b, d)| MemOperand::base_disp(b, d as i32)),
+        (
+            arb_gpr(),
+            arb_index(),
+            prop::sample::select(vec![1u8, 2, 4, 8]),
+            any::<i16>()
+        )
+            .prop_map(|(b, i, s, d)| MemOperand::base_index(b, i, s, d as i32)),
+        (0u32..0x7fff_0000).prop_map(MemOperand::absolute),
+    ]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(&AluOp::ALL[..])
+}
+
+fn arb_cond() -> impl Strategy<Value = CondX86> {
+    prop::sample::select(&CondX86::ALL[..])
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
+        (arb_gpr(), any::<i32>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
+        (arb_gpr(), arb_mem()).prop_map(|(dst, mem)| Inst::MovRM { dst, mem }),
+        (arb_mem(), arb_gpr()).prop_map(|(mem, src)| Inst::MovMR { mem, src }),
+        (arb_mem(), any::<i32>()).prop_map(|(mem, imm)| Inst::MovMI { mem, imm }),
+        (arb_gpr(), arb_mem()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
+        arb_gpr().prop_map(|src| Inst::PushR { src }),
+        any::<i32>().prop_map(|imm| Inst::PushI { imm }),
+        arb_gpr().prop_map(|dst| Inst::PopR { dst }),
+        (arb_alu(), arb_gpr(), arb_gpr()).prop_map(|(op, dst, src)| Inst::AluRR { op, dst, src }),
+        (arb_alu(), arb_gpr(), any::<i32>()).prop_map(|(op, dst, imm)| Inst::AluRI {
+            op,
+            dst,
+            imm
+        }),
+        (arb_alu(), arb_gpr(), arb_mem()).prop_map(|(op, dst, mem)| Inst::AluRM { op, dst, mem }),
+        (arb_alu(), arb_mem(), arb_gpr()).prop_map(|(op, mem, src)| Inst::AluMR { op, mem, src }),
+        (arb_gpr(), arb_gpr()).prop_map(|(a, b)| Inst::CmpRR { a, b }),
+        (arb_gpr(), any::<i32>()).prop_map(|(a, imm)| Inst::CmpRI { a, imm }),
+        (arb_gpr(), arb_mem()).prop_map(|(a, mem)| Inst::CmpRM { a, mem }),
+        (arb_gpr(), arb_gpr()).prop_map(|(a, b)| Inst::TestRR { a, b }),
+        (arb_gpr(), any::<i32>()).prop_map(|(a, imm)| Inst::TestRI { a, imm }),
+        arb_gpr().prop_map(|r| Inst::IncR { r }),
+        arb_gpr().prop_map(|r| Inst::DecR { r }),
+        arb_gpr().prop_map(|r| Inst::NegR { r }),
+        arb_gpr().prop_map(|r| Inst::NotR { r }),
+        (
+            prop::sample::select(vec![ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar]),
+            arb_gpr(),
+            0u8..32
+        )
+            .prop_map(|(op, r, imm)| Inst::ShiftRI { op, r, imm }),
+        (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Inst::ImulRR { dst, src }),
+        (arb_gpr(), arb_gpr(), any::<i32>()).prop_map(|(dst, src, imm)| Inst::ImulRRI {
+            dst,
+            src,
+            imm
+        }),
+        arb_gpr().prop_map(|src| Inst::DivR { src }),
+        Just(Inst::Cdq),
+        (0u32..0x7fff_0000).prop_map(|target| Inst::Jmp { target }),
+        (arb_cond(), 0u32..0x7fff_0000).prop_map(|(cc, target)| Inst::Jcc { cc, target }),
+        arb_gpr().prop_map(|r| Inst::JmpInd { r }),
+        (0u32..0x7fff_0000).prop_map(|target| Inst::Call { target }),
+        Just(Inst::Ret),
+        Just(Inst::Nop),
+        Just(Inst::LongFlow),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// encode → decode is the identity on the whole instruction space.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst(), addr in 0u32..0x7000_0000) {
+        let bytes = encode(&inst, addr);
+        prop_assert!(bytes.len() <= 15, "x86 length limit");
+        let (decoded, len) = decode(&bytes, addr)
+            .map_err(|e| TestCaseError::fail(format!("{inst}: {e}")))?;
+        prop_assert_eq!(len as usize, bytes.len());
+        prop_assert_eq!(decoded, inst);
+    }
+
+    /// Trace files round-trip exactly.
+    #[test]
+    fn trace_file_roundtrip(
+        insts in prop::collection::vec(arb_inst(), 0..40),
+        name in "[a-z]{0,12}",
+    ) {
+        let records: Vec<TraceRecord> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let addr = 0x1000 + (i as u32) * 16;
+                let len = encode(inst, addr).len() as u8;
+                TraceRecord {
+                    addr,
+                    len,
+                    inst: *inst,
+                    next_pc: addr + len as u32,
+                    reg_writes: vec![(0, i as u32)],
+                    mem_reads: vec![],
+                    mem_writes: vec![(addr, 7)],
+                    flags_after: (i % 32) as u8,
+                }
+            })
+            .collect();
+        let t = Trace::new(name.clone(), records);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&buf[..]).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&back.name, &name);
+        prop_assert_eq!(back.records(), t.records());
+    }
+
+    /// The decoder never panics on arbitrary bytes — it either produces an
+    /// instruction or a structured error.
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..16), addr: u32) {
+        let _ = decode(&bytes, addr);
+    }
+
+    /// Whatever the decoder accepts, re-encoding reproduces the accepted
+    /// prefix (decode is a partial inverse of encode).
+    #[test]
+    fn decode_encode_agree(bytes in prop::collection::vec(any::<u8>(), 1..16), addr: u32) {
+        if let Ok((inst, len)) = decode(&bytes, addr) {
+            let re = encode(&inst, addr);
+            let (inst2, len2) = decode(&re, addr).expect("re-encoded form decodes");
+            prop_assert_eq!(inst2, inst);
+            prop_assert_eq!(len2 as usize, re.len());
+            let _ = len;
+        }
+    }
+}

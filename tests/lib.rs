@@ -1,0 +1,110 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use proptest::prelude::*;
+use replay_frame::{Frame, FrameId};
+use replay_uop::{ArchReg, MachineState, Opcode, Uop};
+
+/// Registers the generators draw from (GPRs plus two temporaries).
+pub const TEST_REGS: [ArchReg; 10] = [
+    ArchReg::Eax,
+    ArchReg::Ecx,
+    ArchReg::Edx,
+    ArchReg::Ebx,
+    ArchReg::Esp,
+    ArchReg::Ebp,
+    ArchReg::Esi,
+    ArchReg::Edi,
+    ArchReg::Et0,
+    ArchReg::Et1,
+];
+
+/// A proptest strategy for a random architectural register.
+pub fn arb_reg() -> impl Strategy<Value = ArchReg> {
+    prop::sample::select(&TEST_REGS[..])
+}
+
+/// A proptest strategy for one straight-line, side-effect-bounded uop:
+/// ALU ops, loads, and stores over small displacements of `ESP`/`ESI` (so
+/// that memory addresses collide often enough to exercise the memory
+/// optimizer).
+pub fn arb_uop() -> impl Strategy<Value = Uop> {
+    let alu_ops = prop::sample::select(vec![
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Mul,
+    ]);
+    prop_oneof![
+        // Register-register ALU.
+        (alu_ops.clone(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, d, a, b)| Uop::alu(op, d, a, b)),
+        // Register-immediate ALU.
+        (alu_ops, arb_reg(), arb_reg(), -64i32..64)
+            .prop_map(|(op, d, a, imm)| Uop::alu_imm(op, d, a, imm)),
+        // Moves.
+        (arb_reg(), arb_reg()).prop_map(|(d, s)| Uop::mov(d, s)),
+        (arb_reg(), -1000i32..1000).prop_map(|(d, imm)| Uop::mov_imm(d, imm)),
+        // Address arithmetic (never writes flags).
+        (arb_reg(), arb_reg(), -32i32..32).prop_map(|(d, b, disp)| Uop::lea(d, b, None, 1, disp)),
+        // Loads and stores on a small window of stack/heap slots.
+        (
+            arb_reg(),
+            prop::sample::select(vec![ArchReg::Esp, ArchReg::Esi]),
+            -4i32..4
+        )
+            .prop_map(|(d, b, w)| Uop::load(d, b, w * 4)),
+        (
+            prop::sample::select(vec![ArchReg::Esp, ArchReg::Esi]),
+            -4i32..4,
+            arb_reg()
+        )
+            .prop_map(|(b, w, s)| Uop::store(b, w * 4, s)),
+        // Compares (flag producers).
+        (arb_reg(), -16i32..16).prop_map(|(a, imm)| Uop::cmp_imm(a, imm)),
+    ]
+}
+
+/// A random straight-line frame of 4–40 uops.
+pub fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop::collection::vec(arb_uop(), 4..40).prop_map(|mut uops| {
+        for (i, u) in uops.iter_mut().enumerate() {
+            u.x86_addr = 0x1000 + i as u32;
+        }
+        let n = uops.len();
+        Frame {
+            id: FrameId(0),
+            start_addr: 0x1000,
+            x86_addrs: (0..n as u32).map(|i| 0x1000 + i).collect(),
+            block_starts: vec![0],
+            expectations: vec![],
+            exit_next: 0x2000,
+            orig_uop_count: n,
+            uops,
+        }
+    })
+}
+
+/// A machine state with distinctive register values and disjoint
+/// stack/heap windows.
+pub fn seeded_machine(seed: u32) -> MachineState {
+    let mut m = MachineState::new();
+    for (i, r) in ArchReg::GPRS.iter().enumerate() {
+        m.set_reg(*r, seed.wrapping_mul(31).wrapping_add(i as u32 * 0x101));
+    }
+    m.set_reg(ArchReg::Esp, 0x0009_0000);
+    m.set_reg(ArchReg::Esi, 0x000a_0000);
+    for w in -8i32..8 {
+        m.store32(
+            0x0009_0000u32.wrapping_add((w * 4) as u32),
+            seed ^ (w as u32),
+        );
+        m.store32(
+            0x000a_0000u32.wrapping_add((w * 4) as u32),
+            seed ^ 0x5555 ^ (w as u32),
+        );
+    }
+    m
+}

@@ -1,0 +1,127 @@
+//! Property tests: the optimizer never changes a frame's architectural
+//! effect, regardless of the input uop sequence, the optimization scope, or
+//! which passes are enabled — the invariant the paper's state verifier
+//! enforces (§5.1.3).
+
+use proptest::prelude::*;
+use replay_core::{optimize, AliasProfile, OptConfig, OptFrame};
+use replay_integration::{arb_frame, seeded_machine};
+use replay_verify::verify_differential;
+
+fn raw(frame: &replay_frame::Frame) -> OptFrame {
+    let mut f = OptFrame::from_frame(frame);
+    f.compact();
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Full optimization preserves semantics from arbitrary entry states.
+    #[test]
+    fn full_optimization_is_sound(frame in arb_frame(), seed in 0u32..1000) {
+        let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
+        let entry = seeded_machine(seed);
+        verify_differential(&raw(&frame), &opt, &entry)
+            .map_err(|e| TestCaseError::fail(format!("{e}\nframe:\n{}", raw(&frame).listing())))?;
+    }
+
+    /// Block-scope optimization preserves semantics too.
+    #[test]
+    fn block_scope_is_sound(frame in arb_frame(), seed in 0u32..1000) {
+        let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::block_scope());
+        let entry = seeded_machine(seed);
+        verify_differential(&raw(&frame), &opt, &entry)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+
+    /// Inter-block (trace-cache) scope preserves semantics too.
+    #[test]
+    fn inter_block_scope_is_sound(frame in arb_frame(), seed in 0u32..1000) {
+        let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::inter_block_scope());
+        let entry = seeded_machine(seed);
+        verify_differential(&raw(&frame), &opt, &entry)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+
+    /// Every leave-one-out configuration is sound (the Figure 10 trials
+    /// must not trade correctness for speed).
+    #[test]
+    fn ablations_are_sound(frame in arb_frame(), seed in 0u32..100,
+                           which in prop::sample::select(vec!["ASST", "CP", "CSE", "NOP", "RA", "SF"])) {
+        let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::without(which));
+        let entry = seeded_machine(seed);
+        verify_differential(&raw(&frame), &opt, &entry)
+            .map_err(|e| TestCaseError::fail(format!("no-{which}: {e}")))?;
+    }
+
+    /// The rescheduling extension (position-field reordering) preserves
+    /// semantics too.
+    #[test]
+    fn rescheduling_is_sound(frame in arb_frame(), seed in 0u32..1000) {
+        let cfg = OptConfig { reschedule: true, ..OptConfig::default() };
+        let (opt, _) = optimize(&frame, &AliasProfile::empty(), &cfg);
+        let entry = seeded_machine(seed);
+        verify_differential(&raw(&frame), &opt, &entry)
+            .map_err(|e| TestCaseError::fail(format!("rescheduled: {e}")))?;
+    }
+
+    /// Optimization never grows a frame, never adds loads, and never adds
+    /// memory operations (§4: the optimizer is prohibited from inserting
+    /// loads and stores).
+    #[test]
+    fn optimization_is_monotone(frame in arb_frame()) {
+        let before = raw(&frame);
+        let (opt, stats) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
+        prop_assert!(opt.uop_count() <= before.uop_count());
+        prop_assert!(opt.load_count() <= before.load_count());
+        let stores = |f: &OptFrame| f.iter_valid().filter(|(_, u)| u.is_store()).count();
+        prop_assert_eq!(stores(&opt), stores(&before), "stores are never removed or added");
+        prop_assert_eq!(stats.uops_after as usize, opt.uop_count());
+    }
+
+    /// Optimization is idempotent at the frame level: re-running the
+    /// pipeline on an already-optimized frame's architectural effect
+    /// changes nothing (the pipeline iterates internally to quiescence).
+    #[test]
+    fn internal_fixpoint_reached(frame in arb_frame()) {
+        let cfg = OptConfig { max_iterations: 16, ..OptConfig::default() };
+        let (opt1, s1) = optimize(&frame, &AliasProfile::empty(), &cfg);
+        prop_assert!(s1.iterations < 16, "pipeline quiesces well before the bound");
+        let _ = opt1;
+    }
+
+    /// Structural invariants hold after optimization and rescheduling.
+    #[test]
+    fn structure_validates(frame in arb_frame()) {
+        for cfg in [
+            OptConfig::default(),
+            OptConfig::block_scope(),
+            OptConfig::inter_block_scope(),
+            OptConfig { reschedule: true, ..OptConfig::default() },
+        ] {
+            let (opt, _) = optimize(&frame, &AliasProfile::empty(), &cfg);
+            opt.validate().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// Use counts stay exact through a full optimization run (the
+    /// dataflow bookkeeping the hardware Dependency List maintains).
+    #[test]
+    fn use_counts_stay_consistent(frame in arb_frame()) {
+        let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
+        for (i, _) in opt.iter_valid() {
+            let recount = opt.value_users(i).len() as u32;
+            let live_out_refs = opt
+                .live_out()
+                .iter()
+                .filter(|(_, src)| *src == replay_core::Src::Slot(i))
+                .count() as u32;
+            prop_assert_eq!(
+                opt.value_uses(i),
+                recount + live_out_refs,
+                "slot {} count drift", i
+            );
+        }
+    }
+}
