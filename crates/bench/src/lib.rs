@@ -9,6 +9,14 @@
 //! `REPLAY_SCALE` environment variable (dynamic x86 instructions; default
 //! [`DEFAULT_SCALE`]). Larger scales reduce warm-up effects at the cost of
 //! bench time.
+//!
+//! The experiment drivers these harnesses call fan their
+//! `(workload, segment, configuration)` jobs across the parallel engine in
+//! `replay-sim`, so bench wall-clock scales with the machine. `REPLAY_JOBS`
+//! caps the worker count (`REPLAY_JOBS=1` forces the serial path); the
+//! printed numbers are bit-identical either way. Traces are memoized
+//! process-wide, so consecutive harnesses at the same `REPLAY_SCALE` reuse
+//! the synthesized traces instead of regenerating them.
 
 #![forbid(unsafe_code)]
 

@@ -12,10 +12,13 @@
 
 use replay_core::{optimize, AliasProfile, OptConfig};
 use replay_frame::{ConstructorConfig, FrameConstructor, RetireEvent};
-use replay_sim::{simulate, ConfigKind, Injector, SimConfig};
+use replay_sim::experiment::{self, SimSpec};
+use replay_sim::{parallel, simulate, ConfigKind, Injector, SimConfig, TraceStore};
 use replay_timing::CycleBin;
 use replay_trace::{read_trace, workloads, write_trace, Trace};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +27,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("bench-parallel") => cmd_bench_parallel(&args[1..]),
         Some("frames") => cmd_frames(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
@@ -53,12 +57,24 @@ USAGE:
   replay sim <workload|FILE> [-c CFG] [-n N] [--verify]
                                              simulate one configuration
                                              (CFG: IC, TC, RP, RPO; default RPO)
-  replay compare <workload|FILE> [-n N]      all four configurations side by side
+  replay compare <workload|FILE> [-n N] [--jobs N]
+                                             all four configurations side by side
+  replay bench-parallel [-n N] [--jobs N] [--out FILE]
+                                             time the serial vs parallel experiment
+                                             engine and record BENCH_parallel.json
   replay frames <workload> [-n N] [--top K]  show the most-optimized frames
   replay info <workload|FILE> [-n N]         trace statistics (mix, branches, footprint)
-  replay disasm <workload> [-s SEG]          disassemble a workload's program image"
+  replay disasm <workload> [-s SEG]          disassemble a workload's program image
+
+Parallelism: --jobs/--threads N (or the REPLAY_JOBS environment variable)
+sets the worker count; the default is the machine's available parallelism
+and 1 forces the legacy serial path. Results are identical at any count."
     );
 }
+
+/// Long flags that take a value (`--jobs 8`); every other `--flag` is
+/// boolean. `--flag=value` works for any flag.
+const VALUE_LONG_FLAGS: [&str; 4] = ["jobs", "threads", "top", "out"];
 
 /// Parses `-x value` style options; returns (positional, lookup).
 struct Opts<'a> {
@@ -74,9 +90,18 @@ impl<'a> Opts<'a> {
         while i < args.len() {
             let a = args[i].as_str();
             if let Some(name) = a.strip_prefix("--") {
-                // Boolean long flags.
-                flags.push((name, None));
-                i += 1;
+                if let Some((k, v)) = name.split_once('=') {
+                    flags.push((k, Some(v)));
+                    i += 1;
+                } else if VALUE_LONG_FLAGS.contains(&name) {
+                    let value = args.get(i + 1).map(String::as_str);
+                    flags.push((name, value));
+                    i += 2;
+                } else {
+                    // Boolean long flags.
+                    flags.push((name, None));
+                    i += 1;
+                }
             } else if a.starts_with('-') && a.len() == 2 {
                 let value = args.get(i + 1).map(String::as_str);
                 flags.push((&a[1..], value));
@@ -106,6 +131,23 @@ impl<'a> Opts<'a> {
             None => Ok(default),
         }
     }
+
+    /// The worker count: `--jobs`/`--threads`/`-j`, else `REPLAY_JOBS`,
+    /// else the machine's available parallelism. `1` forces the legacy
+    /// serial path (no worker threads at all).
+    fn jobs(&self) -> Result<usize, String> {
+        for name in ["jobs", "threads", "j"] {
+            if let Some(v) = self.get(name) {
+                return match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Ok(n),
+                    _ => Err(format!(
+                        "bad --{name} value {v:?} (want a positive integer)"
+                    )),
+                };
+            }
+        }
+        Ok(parallel::job_count())
+    }
 }
 
 fn cmd_workloads() -> Result<(), String> {
@@ -128,17 +170,21 @@ fn cmd_workloads() -> Result<(), String> {
     Ok(())
 }
 
-/// Loads a trace by workload name or from a trace file.
-fn load_trace(source: &str, n: usize, segment: usize) -> Result<Trace, String> {
+/// Loads a trace by workload name or from a trace file. Workload traces
+/// come from the process-wide [`TraceStore`], so repeated requests (e.g.
+/// the four configurations of `compare`) synthesize the trace only once.
+fn load_trace(source: &str, n: usize, segment: usize) -> Result<Arc<Trace>, String> {
     if let Some(w) = workloads::by_name(source) {
         if segment >= w.segments {
             return Err(format!("{source} has {} segments", w.segments));
         }
-        return Ok(w.segment_trace(segment, n));
+        return Ok(TraceStore::global().segment(&w, segment, n));
     }
     let file =
         std::fs::File::open(source).map_err(|e| format!("no workload or file {source:?}: {e}"))?;
-    read_trace(std::io::BufReader::new(file)).map_err(|e| format!("reading {source:?}: {e}"))
+    read_trace(std::io::BufReader::new(file))
+        .map(Arc::new)
+        .map_err(|e| format!("reading {source:?}: {e}"))
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
@@ -217,19 +263,36 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args);
     let [source] = opts.positional[..] else {
-        return Err("usage: replay compare <workload|FILE> [-n N]".into());
+        return Err("usage: replay compare <workload|FILE> [-n N] [--jobs N]".into());
     };
     let n = opts.count("n", 30_000)?;
+    let jobs = opts.jobs()?;
     let trace = load_trace(source, n, 0)?;
-    println!("trace `{}`: {} x86 instructions", trace.name, trace.len());
+    println!(
+        "trace `{}`: {} x86 instructions ({} worker{})",
+        trace.name,
+        trace.len(),
+        jobs,
+        if jobs == 1 { "" } else { "s" }
+    );
+    // One spec per configuration over the shared trace: the four
+    // simulations run concurrently and print in ConfigKind::ALL order.
+    let specs: Vec<SimSpec> = ConfigKind::ALL
+        .into_iter()
+        .map(|kind| SimSpec {
+            name: trace.name.clone(),
+            traces: vec![Arc::clone(&trace)],
+            cfg: SimConfig::new(kind).without_verify(),
+        })
+        .collect();
+    let results = experiment::run_specs(&specs, jobs);
     println!(
         "{:5} {:>9} {:>7} {:>7} {:>9} {:>8}",
         "cfg", "cycles", "IPC", "cov%", "removed%", "aborts"
     );
     let mut rp = 0.0;
     let mut rpo = 0.0;
-    for kind in ConfigKind::ALL {
-        let r = simulate(&trace, &SimConfig::new(kind).without_verify());
+    for (kind, r) in ConfigKind::ALL.into_iter().zip(&results) {
         println!(
             "{:5} {:>9} {:>7.3} {:>7.1} {:>9.1} {:>8}",
             kind.label(),
@@ -248,6 +311,110 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     if rp > 0.0 {
         println!("optimization gain: {:+.1}%", (rpo / rp - 1.0) * 100.0);
     }
+    Ok(())
+}
+
+/// Formats an `f64` as a JSON number (Rust's shortest-roundtrip `{:?}`
+/// output is valid JSON for every finite value).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn cmd_bench_parallel(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args);
+    if !opts.positional.is_empty() {
+        return Err("usage: replay bench-parallel [-n N] [--jobs N] [--out FILE]".into());
+    }
+    let scale = opts.count("n", 6_000)?;
+    let jobs = opts.jobs()?;
+    let out = opts
+        .get("out")
+        .or_else(|| opts.get("o"))
+        .unwrap_or("BENCH_parallel.json");
+
+    // Warm the trace store first so both timed runs measure simulation,
+    // not trace synthesis.
+    let ws = workloads::all();
+    let store = TraceStore::global();
+    let t = Instant::now();
+    store.prefetch(&ws, scale, jobs);
+    let synth_secs = t.elapsed().as_secs_f64();
+    let generations = store.generations();
+    let segments: usize = ws.iter().map(|w| w.segments).sum();
+    println!(
+        "synthesized {segments} trace segments (scale {scale}) in {synth_secs:.2}s on {jobs} workers"
+    );
+
+    println!("running the Figure 6 grid (14 workloads x 4 configurations) serially...");
+    let t = Instant::now();
+    let serial = experiment::ipc_comparison_jobs(scale, 1);
+    let serial_secs = t.elapsed().as_secs_f64();
+    println!("  serial:   {serial_secs:.2}s");
+
+    println!("running the same grid on {jobs} workers...");
+    let t = Instant::now();
+    let par = experiment::ipc_comparison_jobs(scale, jobs);
+    let par_secs = t.elapsed().as_secs_f64();
+    println!("  parallel: {par_secs:.2}s");
+
+    if store.generations() != generations {
+        return Err(format!(
+            "trace store regenerated traces during simulation ({} -> {})",
+            generations,
+            store.generations()
+        ));
+    }
+
+    // Every row must be bit-identical between the serial and parallel runs.
+    let identical = serial.len() == par.len()
+        && serial.iter().zip(&par).all(|(a, b)| {
+            a.name == b.name
+                && a.ipc
+                    .iter()
+                    .zip(&b.ipc)
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+                && a.rpo_gain_pct.to_bits() == b.rpo_gain_pct.to_bits()
+                && a.coverage.to_bits() == b.coverage.to_bits()
+                && a.assert_cycle_frac.to_bits() == b.assert_cycle_frac.to_bits()
+        });
+    if !identical {
+        return Err("parallel results diverge from the serial reference".into());
+    }
+    let speedup = if par_secs > 0.0 {
+        serial_secs / par_secs
+    } else {
+        0.0
+    };
+    println!("speedup: {speedup:.2}x, outputs bit-identical");
+
+    let mut rows = String::new();
+    for (i, r) in serial.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let ipc: Vec<String> = r.ipc.iter().map(|&v| json_f64(v)).collect();
+        rows.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ipc\": [{}], \"rpo_gain_pct\": {}, \"coverage\": {}}}",
+            r.name,
+            ipc.join(", "),
+            json_f64(r.rpo_gain_pct),
+            json_f64(r.coverage)
+        ));
+    }
+    let cores = parallel::available_jobs();
+    let json = format!(
+        "{{\n  \"experiment\": \"fig6 ipc grid, serial vs parallel\",\n  \"scale\": {scale},\n  \"jobs\": {jobs},\n  \"available_cores\": {cores},\n  \"trace_segments\": {segments},\n  \"trace_generations\": {generations},\n  \"trace_synthesis_secs\": {},\n  \"serial_secs\": {},\n  \"parallel_secs\": {},\n  \"speedup\": {},\n  \"identical_output\": {identical},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
+        json_f64(synth_secs),
+        json_f64(serial_secs),
+        json_f64(par_secs),
+        json_f64(speedup)
+    );
+    std::fs::write(out, json).map_err(|e| format!("writing {out:?}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }
 
@@ -286,7 +453,7 @@ fn cmd_frames(args: &[String]) -> Result<(), String> {
         return Err("usage: replay frames <workload> [-n N] [--top K]".into());
     };
     let n = opts.count("n", 20_000)?;
-    let top = opts.count("t", 3)?;
+    let top = opts.count("top", opts.count("t", 3)?)?;
     let w = workloads::by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let trace = w.segment_trace(0, n);
     let mut injector = Injector::new();

@@ -24,6 +24,72 @@ pub struct MemTransaction {
     pub is_store: bool,
 }
 
+/// The outcome of probing a frame against a machine state without
+/// committing ([`probe_frame`]): like [`FrameOutcome`] but borrowing the
+/// transactions from the caller's [`ExecScratch`] instead of owning them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Every assertion held. The accesses are in the scratch's
+    /// [`ExecScratch::transactions`]; nothing was committed.
+    Completed,
+    /// An assertion fired at the given uop index.
+    AssertFired {
+        /// Index of the firing assertion.
+        uop_index: usize,
+    },
+    /// An unsafe store's address matched an earlier transaction (§3.4).
+    UnsafeConflict {
+        /// Index of the conflicting unsafe store.
+        uop_index: usize,
+        /// Index of the earlier transaction it collided with.
+        conflicts_with: usize,
+    },
+    /// The frame faulted (division by zero).
+    Faulted {
+        /// Index of the faulting uop.
+        uop_index: usize,
+    },
+}
+
+/// Reusable buffers for frame execution.
+///
+/// The simulator probes a frame once per dynamic frame-cache hit; keeping
+/// the per-slot value/flag vectors, the store buffer, and the transaction
+/// list in one long-lived scratch removes four heap allocations from that
+/// hot path. A scratch can be reused across frames of any size — each
+/// probe resets it to the frame's length first.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    values: Vec<u32>,
+    flag_results: Vec<Flags>,
+    store_buffer: HashMap<u32, u32>,
+    transactions: Vec<MemTransaction>,
+}
+
+impl ExecScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> ExecScratch {
+        ExecScratch::default()
+    }
+
+    /// The memory accesses recorded by the most recent probe, in program
+    /// order.
+    pub fn transactions(&self) -> &[MemTransaction] {
+        &self.transactions
+    }
+
+    /// Clears the buffers and sizes the per-slot vectors for an `n`-uop
+    /// frame.
+    fn reset(&mut self, n: usize) {
+        self.values.clear();
+        self.values.resize(n, 0);
+        self.flag_results.clear();
+        self.flag_results.resize(n, Flags::CLEAR);
+        self.store_buffer.clear();
+        self.transactions.clear();
+    }
+}
+
 /// The outcome of executing a frame against a machine state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameOutcome {
@@ -66,11 +132,48 @@ pub enum FrameOutcome {
 /// Panics if the frame contains invalidated slots (call
 /// [`OptFrame::compact`] first) or a malformed uop.
 pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
-    let n = frame.len();
-    let mut values: Vec<u32> = vec![0; n];
-    let mut flag_results: Vec<Flags> = vec![Flags::CLEAR; n];
-    let mut store_buffer: HashMap<u32, u32> = HashMap::new();
-    let mut transactions: Vec<MemTransaction> = Vec::new();
+    let mut scratch = ExecScratch::new();
+    match probe_frame(frame, m, &mut scratch) {
+        ProbeOutcome::Completed => {
+            commit_frame(frame, m, &scratch);
+            FrameOutcome::Completed {
+                transactions: std::mem::take(&mut scratch.transactions),
+            }
+        }
+        ProbeOutcome::AssertFired { uop_index } => FrameOutcome::AssertFired { uop_index },
+        ProbeOutcome::UnsafeConflict {
+            uop_index,
+            conflicts_with,
+        } => FrameOutcome::UnsafeConflict {
+            uop_index,
+            conflicts_with,
+        },
+        ProbeOutcome::Faulted { uop_index } => FrameOutcome::Faulted { uop_index },
+    }
+}
+
+/// Evaluates a compacted frame against `m` **without committing**: the
+/// speculative values, store buffer, and memory transactions live in
+/// `scratch`, and `m` is never mutated.
+///
+/// This is [`exec_frame`]'s first half, exposed so the simulator can test
+/// whether a frame instance completes (it retires the traced records
+/// architecturally through its own golden state afterwards) without
+/// cloning the machine state — the clone of a sparse-page memory image
+/// was the single largest allocation on the frame-fetch hot path.
+///
+/// # Panics
+///
+/// Panics if the frame contains invalidated slots (call
+/// [`OptFrame::compact`] first) or a malformed uop.
+pub fn probe_frame(frame: &OptFrame, m: &MachineState, scratch: &mut ExecScratch) -> ProbeOutcome {
+    scratch.reset(frame.len());
+    let ExecScratch {
+        values,
+        flag_results,
+        store_buffer,
+        transactions,
+    } = scratch;
 
     fn read(m: &MachineState, values: &[u32], src: Option<Src>) -> u32 {
         match src {
@@ -91,8 +194,8 @@ pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
         let i_us = i as usize;
         match u.op {
             Opcode::Load => {
-                let base = read(m, &values, u.src_a);
-                let index = read(m, &values, u.src_b);
+                let base = read(m, values, u.src_a);
+                let index = read(m, values, u.src_b);
                 let addr = base
                     .wrapping_add(index.wrapping_mul(u.scale as u32))
                     .wrapping_add(u.imm as u32);
@@ -109,14 +212,14 @@ pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
                 });
             }
             Opcode::Store => {
-                let base = read(m, &values, u.src_a);
+                let base = read(m, values, u.src_a);
                 let addr = base.wrapping_add(u.imm as u32);
-                let value = read(m, &values, u.src_b);
+                let value = read(m, values, u.src_b);
                 if u.unsafe_store {
                     // Compare against all earlier transactions in the frame
                     // (§3.4); any match means the speculation was wrong.
                     if let Some(t) = transactions.iter().find(|t| t.addr == addr) {
-                        return FrameOutcome::UnsafeConflict {
+                        return ProbeOutcome::UnsafeConflict {
                             uop_index: i_us,
                             conflicts_with: t.uop_index,
                         };
@@ -133,15 +236,15 @@ pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
             Opcode::Assert => {
                 let cc = u.cc.expect("assert carries cc");
                 let fs = u.flags_src.expect("assert reads flags");
-                if !cc.holds(read_flags(m, &flag_results, fs)) {
-                    return FrameOutcome::AssertFired { uop_index: i_us };
+                if !cc.holds(read_flags(m, flag_results, fs)) {
+                    return ProbeOutcome::AssertFired { uop_index: i_us };
                 }
             }
             Opcode::AssertCmp | Opcode::AssertTest => {
                 let cc = u.cc.expect("assert carries cc");
-                let a = read(m, &values, u.src_a);
+                let a = read(m, values, u.src_a);
                 let b = match u.src_b {
-                    Some(_) => read(m, &values, u.src_b),
+                    Some(_) => read(m, values, u.src_b),
                     None => u.imm as u32,
                 };
                 let alu = if u.op == Opcode::AssertCmp {
@@ -151,7 +254,7 @@ pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
                 };
                 let flags = eval_alu(alu, a, b).expect("cmp/test never fault").flags;
                 if !cc.holds(flags) {
-                    return FrameOutcome::AssertFired { uop_index: i_us };
+                    return ProbeOutcome::AssertFired { uop_index: i_us };
                 }
             }
             Opcode::Br | Opcode::Jmp | Opcode::JmpInd => {
@@ -160,15 +263,15 @@ pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
             }
             Opcode::Nop | Opcode::Fence => {}
             op if op.is_alu() => {
-                let a = read(m, &values, u.src_a);
+                let a = read(m, values, u.src_a);
                 let b = if op == Opcode::Lea {
-                    let index = read(m, &values, u.src_b);
+                    let index = read(m, values, u.src_b);
                     index
                         .wrapping_mul(u.scale as u32)
                         .wrapping_add(u.imm as u32)
                 } else {
                     match u.src_b {
-                        Some(_) => read(m, &values, u.src_b),
+                        Some(_) => read(m, values, u.src_b),
                         None => u.imm as u32,
                     }
                 };
@@ -179,15 +282,22 @@ pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
                             flag_results[i_us] = r.flags;
                         }
                     }
-                    Err(_) => return FrameOutcome::Faulted { uop_index: i_us },
+                    Err(_) => return ProbeOutcome::Faulted { uop_index: i_us },
                 }
             }
             op => unreachable!("unexpected opcode {op} in frame"),
         }
     }
 
-    // Commit: stores, then live-out registers, then flags.
-    for t in &transactions {
+    ProbeOutcome::Completed
+}
+
+/// Applies a successfully probed frame's effects to `m`: stores, then
+/// live-out registers, then flags. `scratch` must hold the result of
+/// [`probe_frame`] returning [`ProbeOutcome::Completed`] for this exact
+/// frame and state.
+fn commit_frame(frame: &OptFrame, m: &mut MachineState, scratch: &ExecScratch) {
+    for t in &scratch.transactions {
         if t.is_store {
             m.store32(t.addr, t.value);
         }
@@ -198,7 +308,7 @@ pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
         .map(|&(r, src)| {
             let v = match src {
                 Src::LiveIn(other) => m.reg(other),
-                Src::Slot(s) => values[s as usize],
+                Src::Slot(s) => scratch.values[s as usize],
             };
             (r, v)
         })
@@ -206,9 +316,11 @@ pub fn exec_frame(frame: &OptFrame, m: &mut MachineState) -> FrameOutcome {
     for (r, v) in commits {
         m.set_reg(r, v);
     }
-    let out_flags = read_flags(m, &flag_results, frame.flags_out());
+    let out_flags = match frame.flags_out() {
+        FlagsSrc::LiveIn => m.flags(),
+        FlagsSrc::Slot(s) => scratch.flag_results[s as usize],
+    };
     m.set_flags(out_flags);
-    FrameOutcome::Completed { transactions }
 }
 
 #[cfg(test)]

@@ -74,7 +74,7 @@ mod stats;
 
 pub use alias::AliasProfile;
 pub use datapath::{DatapathConfig, OptimizerDatapath};
-pub use exec::{exec_frame, FrameOutcome, MemTransaction};
+pub use exec::{exec_frame, probe_frame, ExecScratch, FrameOutcome, MemTransaction, ProbeOutcome};
 pub use frame_ir::OptFrame;
 pub use ir::{FlagsSrc, Operand, OptUop, Slot, Src};
 pub use pipeline::{optimize, OptConfig, OptScope};

@@ -239,10 +239,7 @@ pub fn reassociate(f: &mut OptFrame, scope: OptScope) -> u64 {
         }
         // Copy propagation on both operand positions.
         for which in [Operand::A, Operand::B] {
-            loop {
-                let Some(Src::Slot(m)) = f.slot(i).operand(which) else {
-                    break;
-                };
+            while let Some(Src::Slot(m)) = f.slot(i).operand(which) {
                 if !visible(f, m, i, scope) {
                     break;
                 }
@@ -262,10 +259,7 @@ pub fn reassociate(f: &mut OptFrame, scope: OptScope) -> u64 {
             || (matches!(op, Opcode::Add | Opcode::Sub) && f.slot(i).src_b.is_none());
         let flags_block = f.slot(i).writes_flags && f.flags_uses(i) > 0;
         if base_foldable && !flags_block {
-            loop {
-                let Some(Src::Slot(m)) = f.slot(i).src_a else {
-                    break;
-                };
+            while let Some(Src::Slot(m)) = f.slot(i).src_a {
                 if !visible(f, m, i, scope) {
                     break;
                 }
@@ -285,10 +279,7 @@ pub fn reassociate(f: &mut OptFrame, scope: OptScope) -> u64 {
         // Fold an add-immediate chain feeding a load/lea *index*:
         // base + (X + d)*s + disp  =  base + X*s + (disp + d*s).
         if matches!(op, Opcode::Load | Opcode::Lea) {
-            loop {
-                let Some(Src::Slot(m)) = f.slot(i).src_b else {
-                    break;
-                };
+            while let Some(Src::Slot(m)) = f.slot(i).src_b {
                 if !visible(f, m, i, scope) {
                     break;
                 }

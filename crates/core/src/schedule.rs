@@ -56,16 +56,16 @@ fn compute_order(f: &OptFrame) -> Option<Vec<Slot>> {
     // Dependence counts (value + flags producers per uop).
     let mut pending = vec![0u32; n];
     let mut consumers: Vec<Vec<Slot>> = vec![Vec::new(); n];
-    for i in 0..n {
+    for (i, pend) in pending.iter_mut().enumerate() {
         let u = f.slot(i as Slot);
         for src in [u.src_a, u.src_b].into_iter().flatten() {
             if let Src::Slot(p) = src {
-                pending[i] += 1;
+                *pend += 1;
                 consumers[p as usize].push(i as Slot);
             }
         }
         if let Some(FlagsSrc::Slot(p)) = u.flags_src {
-            pending[i] += 1;
+            *pend += 1;
             consumers[p as usize].push(i as Slot);
         }
     }

@@ -50,6 +50,18 @@ impl CacheEntry for Frame {
     }
 }
 
+/// Shared frames are cacheable too: the simulator stores `Arc`-wrapped
+/// entries so a cache hit is a reference-count bump rather than a deep
+/// clone of the frame's uop vectors.
+impl<T: CacheEntry + ?Sized> CacheEntry for std::sync::Arc<T> {
+    fn entry_addr(&self) -> u32 {
+        (**self).entry_addr()
+    }
+    fn slot_cost(&self) -> usize {
+        (**self).slot_cost()
+    }
+}
+
 #[derive(Debug)]
 struct Slot<T> {
     frame: T,

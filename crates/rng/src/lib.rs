@@ -1,0 +1,304 @@
+//! # replay-rng
+//!
+//! A small, dependency-free deterministic pseudo-random number generator.
+//!
+//! The synthetic workload generator ([`replay_trace`]) and the randomized
+//! integration tests need reproducible random streams, but the build must
+//! work without network access to a crates registry. This crate provides a
+//! [`SmallRng`] with the subset of the `rand` API the repository uses:
+//! [`SmallRng::seed_from_u64`], [`SmallRng::random_range`], and
+//! [`SmallRng::random_bool`].
+//!
+//! The core generator is **xoshiro256++** (Blackman & Vigna), seeded from a
+//! 64-bit value through **SplitMix64** — the same construction `rand`'s
+//! `SmallRng` documents. Streams are stable across platforms and releases:
+//! workload generation depends on that, because every figure driver keys its
+//! memoized traces on `(workload, scale)` alone.
+//!
+//! [`replay_trace`]: https://docs.rs/replay-trace
+//!
+//! # Example
+//!
+//! ```
+//! use replay_rng::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let a = rng.random_range(0..100);
+//! assert!((0..100).contains(&a));
+//! let mut rng2 = SmallRng::seed_from_u64(42);
+//! assert_eq!(a, rng2.random_range(0..100), "streams are reproducible");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: expands one 64-bit seed into a well-mixed stream, used only
+/// to initialize the xoshiro state (never as the main generator).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, deterministic PRNG (xoshiro256++).
+///
+/// Not cryptographically secure — statistical quality only, which is all
+/// the workload generator and the tests need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SmallRng { s }
+    }
+
+    /// The next 64 random bits (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 random bits (upper half of [`Self::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, bound)` using Lemire's widening-multiply
+    /// rejection method (unbiased).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Widening multiply: map a 64-bit draw onto [0, bound) and reject
+        // the draws that would bias the low residue classes.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform value in the given range.
+    ///
+    /// Accepts `a..b` and `a..=b` over the integer types the workload
+    /// generator uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 random bits give a uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        &slice[self.random_range(0..slice.len())]
+    }
+}
+
+/// A range [`SmallRng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+/// An integer type [`SmallRng::random_range`] can produce. The generic
+/// [`SampleRange`] impls are keyed on this trait so that integer literals in
+/// `rng.random_range(1..4)` infer their type from the use site.
+pub trait SampleUniform: Copy {
+    /// Widens to a common signed domain for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrows back from the common domain (the value is in range by
+    /// construction).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[inline]
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: SampleUniform> SampleRange for Range<T> {
+    type Output = T;
+    fn sample(self, rng: &mut SmallRng) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u64;
+        T::from_i128(lo + rng.bounded(span) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange for RangeInclusive<T> {
+    type Output = T;
+    fn sample(self, rng: &mut SmallRng) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo + 1) as u64;
+        // Span 0 would mean the full u64 domain; unreachable for the
+        // 32-bit-and-smaller types used here, but handle u64/i64 anyway.
+        if span == 0 {
+            return T::from_i128(lo + rng.next_u64() as i128);
+        }
+        T::from_i128(lo + rng.bounded(span) as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_is_stable() {
+        // Guards the stream against accidental algorithm changes: workload
+        // traces (and the memoized TraceStore keys) depend on it.
+        let mut r = SmallRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.random_range(-5i32..17);
+            assert!((-5..17).contains(&v));
+            let w = r.random_range(0usize..=3);
+            assert!(w <= 3);
+            let x = r.random_range(1u32..1000);
+            assert!((1..1000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn single_value_ranges() {
+        let mut r = SmallRng::seed_from_u64(4);
+        assert_eq!(r.random_range(5i32..6), 5);
+        assert_eq!(r.random_range(9usize..=9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(0).random_range(3i32..3);
+    }
+
+    #[test]
+    fn bool_probabilities() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.random_bool(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "got {frac}");
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut r = SmallRng::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "permutation");
+        assert!(v != (0..32).collect::<Vec<_>>(), "almost surely moved");
+        let pick = *r.choose(&v);
+        assert!(v.contains(&pick));
+    }
+}

@@ -1,17 +1,94 @@
 //! Experiment drivers: one function per table / figure of the paper.
 //!
-//! Every driver runs the synthetic workload suite through the relevant
-//! configurations and returns structured rows that the benchmark harnesses
-//! print. The traces are generated once per workload and shared across
-//! configurations, so comparisons are paired.
+//! Every driver expands its workloads × configurations grid into a batch
+//! of [`SimSpec`]s and hands the batch to [`run_specs`], which fans the
+//! individual `(workload, segment, configuration)` jobs across a scoped
+//! worker pool ([`crate::parallel`]). Traces come from the process-wide
+//! [`TraceStore`], so each segment is synthesized once and shared by every
+//! driver and configuration.
+//!
+//! Parallelism never changes the numbers: each job is a pure function of
+//! its inputs, results are collected in submission order, and segments
+//! merge in the same order as the serial loop — so driver output is
+//! bit-identical for every worker count. The plain driver functions size
+//! the pool with [`parallel::job_count`] (`REPLAY_JOBS` or all cores);
+//! the `*_jobs` variants take an explicit count (`1` = run serially on
+//! the calling thread).
 
-use crate::{simulate, ConfigKind, SimConfig, SimResult};
+use crate::{parallel, simulate, ConfigKind, SimConfig, SimResult, TraceStore};
 use replay_core::OptConfig;
 use replay_timing::CycleBin;
 use replay_trace::{workloads, Suite, Trace, Workload};
+use std::sync::Arc;
+
+/// One simulation request: a workload's trace segments through one
+/// configuration. [`run_specs`] simulates the segments (possibly on
+/// different threads) and merges them, in order, into one [`SimResult`].
+#[derive(Debug, Clone)]
+pub struct SimSpec {
+    /// Name stamped on the merged result.
+    pub name: String,
+    /// The workload's trace segments, shared with other specs and threads.
+    pub traces: Vec<Arc<Trace>>,
+    /// The configuration to simulate.
+    pub cfg: SimConfig,
+}
+
+impl SimSpec {
+    /// A spec for `workload`'s memoized traces under `cfg`.
+    pub fn for_workload(workload: &Workload, scale: usize, cfg: SimConfig) -> SimSpec {
+        SimSpec {
+            name: workload.name.to_string(),
+            traces: TraceStore::global().traces(workload, scale),
+            cfg,
+        }
+    }
+}
+
+/// Runs a batch of specs on `jobs` worker threads and returns one merged
+/// result per spec, in spec order.
+///
+/// The unit of parallelism is the *segment*, not the spec, so a handful of
+/// specs with several segments each still saturates the pool. Segment
+/// results merge in segment order — the same fold the serial path uses —
+/// which keeps every floating-point aggregate bit-identical regardless of
+/// `jobs`.
+///
+/// # Panics
+///
+/// Panics if a spec has no traces.
+pub fn run_specs(specs: &[SimSpec], jobs: usize) -> Vec<SimResult> {
+    let flat: Vec<(usize, usize)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| (0..s.traces.len()).map(move |gi| (si, gi)))
+        .collect();
+    let mut seg_results = parallel::par_map(jobs, &flat, |&(si, gi)| {
+        simulate(&specs[si].traces[gi], &specs[si].cfg)
+    })
+    .into_iter();
+    specs
+        .iter()
+        .map(|s| {
+            assert!(!s.traces.is_empty(), "spec {} has no traces", s.name);
+            let mut merged: Option<SimResult> = None;
+            for _ in 0..s.traces.len() {
+                let r = seg_results.next().expect("one result per segment");
+                match &mut merged {
+                    Some(m) => m.merge(&r),
+                    None => merged = Some(r),
+                }
+            }
+            let mut result = merged.expect("at least one trace");
+            result.workload = s.name.clone();
+            result
+        })
+        .collect()
+}
 
 /// Runs one workload (all its trace segments) through one configuration
-/// and aggregates the per-segment results.
+/// and aggregates the per-segment results — the serial reference path
+/// [`run_specs`] must match bit for bit.
 pub fn run_workload_config(traces: &[Trace], name: &str, cfg: &SimConfig) -> SimResult {
     assert!(!traces.is_empty(), "workload has no traces");
     let mut merged: Option<SimResult> = None;
@@ -46,23 +123,16 @@ pub struct IpcRow {
     pub assert_cycle_frac: f64,
 }
 
-/// Figure 6: estimated x86 instructions retired per cycle for the ICache,
-/// Trace-Cache, rePLay, and rePLay+Optimization configurations, plus the
-/// §6.1 side observations (coverage, assert cycles).
-pub fn ipc_comparison(scale: usize) -> Vec<IpcRow> {
-    workloads::all().iter().map(|w| ipc_row(w, scale)).collect()
-}
-
-/// One workload's Figure 6 row.
-pub fn ipc_row(w: &Workload, scale: usize) -> IpcRow {
-    let traces = w.traces_scaled(scale);
+/// Builds one Figure 6 row from the four per-configuration results (in
+/// [`ConfigKind::ALL`] order).
+fn ipc_row_from(w: &Workload, results: &[SimResult]) -> IpcRow {
     let mut ipc = [0.0f64; 4];
     let mut coverage = 0.0;
     let mut assert_frac = 0.0;
     let mut rp = 0.0;
     let mut rpo = 0.0;
     for (i, kind) in ConfigKind::ALL.into_iter().enumerate() {
-        let r = run_workload_config(&traces, w.name, &SimConfig::new(kind).without_verify());
+        let r = &results[i];
         ipc[i] = r.ipc();
         match kind {
             ConfigKind::Replay => {
@@ -90,6 +160,44 @@ pub fn ipc_row(w: &Workload, scale: usize) -> IpcRow {
     }
 }
 
+/// The four per-configuration specs of one Figure 6 row.
+fn ipc_specs(w: &Workload, scale: usize) -> Vec<SimSpec> {
+    ConfigKind::ALL
+        .into_iter()
+        .map(|kind| SimSpec::for_workload(w, scale, SimConfig::new(kind).without_verify()))
+        .collect()
+}
+
+/// Figure 6: estimated x86 instructions retired per cycle for the ICache,
+/// Trace-Cache, rePLay, and rePLay+Optimization configurations, plus the
+/// §6.1 side observations (coverage, assert cycles).
+pub fn ipc_comparison(scale: usize) -> Vec<IpcRow> {
+    ipc_comparison_jobs(scale, parallel::job_count())
+}
+
+/// [`ipc_comparison`] with an explicit worker count.
+pub fn ipc_comparison_jobs(scale: usize, jobs: usize) -> Vec<IpcRow> {
+    let ws = workloads::all();
+    TraceStore::global().prefetch(&ws, scale, jobs);
+    let specs: Vec<SimSpec> = ws.iter().flat_map(|w| ipc_specs(w, scale)).collect();
+    let results = run_specs(&specs, jobs);
+    ws.iter()
+        .zip(results.chunks_exact(ConfigKind::ALL.len()))
+        .map(|(w, rs)| ipc_row_from(w, rs))
+        .collect()
+}
+
+/// One workload's Figure 6 row.
+pub fn ipc_row(w: &Workload, scale: usize) -> IpcRow {
+    ipc_row_jobs(w, scale, parallel::job_count())
+}
+
+/// [`ipc_row`] with an explicit worker count.
+pub fn ipc_row_jobs(w: &Workload, scale: usize, jobs: usize) -> IpcRow {
+    let results = run_specs(&ipc_specs(w, scale), jobs);
+    ipc_row_from(w, &results)
+}
+
 /// A row of the Figures 7/8 cycle breakdown: RP and RPO bins side by side.
 #[derive(Debug, Clone)]
 pub struct BreakdownRow {
@@ -106,27 +214,31 @@ pub struct BreakdownRow {
 /// Figures 7 (SPEC) and 8 (desktop): per-benchmark execution cycles for
 /// the RP and RPO configurations, classified by fetch event.
 pub fn cycle_breakdown(suite: Suite, scale: usize) -> Vec<BreakdownRow> {
-    workloads::all()
-        .iter()
+    cycle_breakdown_jobs(suite, scale, parallel::job_count())
+}
+
+/// [`cycle_breakdown`] with an explicit worker count.
+pub fn cycle_breakdown_jobs(suite: Suite, scale: usize, jobs: usize) -> Vec<BreakdownRow> {
+    let ws: Vec<Workload> = workloads::all()
+        .into_iter()
         .filter(|w| w.suite == suite)
-        .map(|w| {
-            let traces = w.traces_scaled(scale);
-            let rp = run_workload_config(
-                &traces,
-                w.name,
-                &SimConfig::new(ConfigKind::Replay).without_verify(),
-            );
-            let rpo = run_workload_config(
-                &traces,
-                w.name,
-                &SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
-            );
-            BreakdownRow {
-                name: w.name.to_string(),
-                suite: w.suite,
-                rp: rp.bins,
-                rpo: rpo.bins,
-            }
+        .collect();
+    TraceStore::global().prefetch(&ws, scale, jobs);
+    let specs: Vec<SimSpec> = ws
+        .iter()
+        .flat_map(|w| {
+            [ConfigKind::Replay, ConfigKind::ReplayOpt]
+                .map(|kind| SimSpec::for_workload(w, scale, SimConfig::new(kind).without_verify()))
+        })
+        .collect();
+    let results = run_specs(&specs, jobs);
+    ws.iter()
+        .zip(results.chunks_exact(2))
+        .map(|(w, rs)| BreakdownRow {
+            name: w.name.to_string(),
+            suite: w.suite,
+            rp: rs[0].bins,
+            rpo: rs[1].bins,
         })
         .collect()
 }
@@ -147,20 +259,25 @@ pub struct RemovalRow {
 /// Table 3: the percentage of micro-operations and loads removed by the
 /// rePLay optimizer, and the resulting IPC increase.
 pub fn removal_table(scale: usize) -> Vec<RemovalRow> {
-    workloads::all()
+    removal_table_jobs(scale, parallel::job_count())
+}
+
+/// [`removal_table`] with an explicit worker count.
+pub fn removal_table_jobs(scale: usize, jobs: usize) -> Vec<RemovalRow> {
+    let ws = workloads::all();
+    TraceStore::global().prefetch(&ws, scale, jobs);
+    let specs: Vec<SimSpec> = ws
         .iter()
-        .map(|w| {
-            let traces = w.traces_scaled(scale);
-            let rp = run_workload_config(
-                &traces,
-                w.name,
-                &SimConfig::new(ConfigKind::Replay).without_verify(),
-            );
-            let rpo = run_workload_config(
-                &traces,
-                w.name,
-                &SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
-            );
+        .flat_map(|w| {
+            [ConfigKind::Replay, ConfigKind::ReplayOpt]
+                .map(|kind| SimSpec::for_workload(w, scale, SimConfig::new(kind).without_verify()))
+        })
+        .collect();
+    let results = run_specs(&specs, jobs);
+    ws.iter()
+        .zip(results.chunks_exact(2))
+        .map(|(w, rs)| {
+            let (rp, rpo) = (&rs[0], &rs[1]);
             RemovalRow {
                 name: w.name.to_string(),
                 uops_removed: rpo.uop_removal(),
@@ -199,27 +316,31 @@ pub struct ScopeRow {
 /// Figure 9: percent IPC increase when frames are optimized only within
 /// individual basic blocks versus as a unit.
 pub fn scope_comparison(scale: usize) -> Vec<ScopeRow> {
-    workloads::all()
+    scope_comparison_jobs(scale, parallel::job_count())
+}
+
+/// [`scope_comparison`] with an explicit worker count.
+pub fn scope_comparison_jobs(scale: usize, jobs: usize) -> Vec<ScopeRow> {
+    let ws = workloads::all();
+    TraceStore::global().prefetch(&ws, scale, jobs);
+    let specs: Vec<SimSpec> = ws
         .iter()
-        .map(|w| {
-            let traces = w.traces_scaled(scale);
-            let rp = run_workload_config(
-                &traces,
-                w.name,
-                &SimConfig::new(ConfigKind::Replay).without_verify(),
-            );
-            let block = run_workload_config(
-                &traces,
-                w.name,
-                &SimConfig::new(ConfigKind::ReplayOpt)
+        .flat_map(|w| {
+            [
+                SimConfig::new(ConfigKind::Replay).without_verify(),
+                SimConfig::new(ConfigKind::ReplayOpt)
                     .with_opt(OptConfig::block_scope())
                     .without_verify(),
-            );
-            let frame = run_workload_config(
-                &traces,
-                w.name,
-                &SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
-            );
+                SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
+            ]
+            .map(|cfg| SimSpec::for_workload(w, scale, cfg))
+        })
+        .collect();
+    let results = run_specs(&specs, jobs);
+    ws.iter()
+        .zip(results.chunks_exact(3))
+        .map(|(w, rs)| {
+            let (rp, block, frame) = (&rs[0], &rs[1], &rs[2]);
             let pct = |x: &SimResult| {
                 if rp.ipc() > 0.0 {
                     (x.ipc() / rp.ipc() - 1.0) * 100.0
@@ -229,8 +350,8 @@ pub fn scope_comparison(scale: usize) -> Vec<ScopeRow> {
             };
             ScopeRow {
                 name: w.name.to_string(),
-                block_pct: pct(&block),
-                frame_pct: pct(&frame),
+                block_pct: pct(block),
+                frame_pct: pct(frame),
             }
         })
         .collect()
@@ -263,35 +384,47 @@ pub struct AblationRow {
 /// Figure 10: the performance impact of disabling each optimization
 /// individually (dead-code elimination always stays enabled).
 pub fn ablation(apps: &[&str], scale: usize) -> Vec<AblationRow> {
-    apps.iter()
-        .map(|name| {
-            let w = workloads::by_name(name).expect("known workload");
-            let traces = w.traces_scaled(scale);
-            let rp = run_workload_config(
-                &traces,
-                w.name,
-                &SimConfig::new(ConfigKind::Replay).without_verify(),
-            )
-            .ipc();
-            let rpo = run_workload_config(
-                &traces,
-                w.name,
-                &SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
-            )
-            .ipc();
+    ablation_jobs(apps, scale, parallel::job_count())
+}
+
+/// [`ablation`] with an explicit worker count.
+pub fn ablation_jobs(apps: &[&str], scale: usize, jobs: usize) -> Vec<AblationRow> {
+    let ws: Vec<Workload> = apps
+        .iter()
+        .map(|name| workloads::by_name(name).expect("known workload"))
+        .collect();
+    TraceStore::global().prefetch(&ws, scale, jobs);
+    // Per app: RP, full RPO, then the six leave-one-out trials — all
+    // submitted as one batch so the pool stays busy across apps.
+    let specs: Vec<SimSpec> = ws
+        .iter()
+        .flat_map(|w| {
+            let mut cfgs = vec![
+                SimConfig::new(ConfigKind::Replay).without_verify(),
+                SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
+            ];
+            cfgs.extend(ABLATION_LABELS.iter().map(|label| {
+                SimConfig::new(ConfigKind::ReplayOpt)
+                    .with_opt(OptConfig::without(label))
+                    .without_verify()
+            }));
+            cfgs.into_iter()
+                .map(|cfg| SimSpec::for_workload(w, scale, cfg))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let results = run_specs(&specs, jobs);
+    ws.iter()
+        .zip(results.chunks_exact(2 + ABLATION_LABELS.len()))
+        .map(|(w, rs)| {
+            let rp = rs[0].ipc();
+            let rpo = rs[1].ipc();
             // Guard the normalization: when optimization is near-neutral
             // on an application (as on excel, where speculative aborts eat
             // the gains), the raw span would explode the relative scale.
             let span = (rpo - rp).abs().max(0.03 * rp).max(1e-9);
             let mut relative = [0.0f64; 6];
-            for (i, label) in ABLATION_LABELS.iter().enumerate() {
-                let r = run_workload_config(
-                    &traces,
-                    w.name,
-                    &SimConfig::new(ConfigKind::ReplayOpt)
-                        .with_opt(OptConfig::without(label))
-                        .without_verify(),
-                );
+            for (i, r) in rs[2..].iter().enumerate() {
                 relative[i] = (r.ipc() - rp) / span;
             }
             AblationRow {
@@ -344,5 +477,37 @@ mod tests {
         let rows = ablation(&["bzip2"], 3_000);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].relative.len(), ABLATION_LABELS.len());
+    }
+
+    #[test]
+    fn run_specs_matches_serial_reference() {
+        let w = workloads::by_name("gzip").unwrap();
+        let scale = 2_000;
+        let store = TraceStore::new();
+        let shared = store.traces(&w, scale);
+        let direct = w.traces_scaled(scale);
+        let specs: Vec<SimSpec> = ConfigKind::ALL
+            .into_iter()
+            .map(|kind| SimSpec {
+                name: w.name.to_string(),
+                traces: shared.clone(),
+                cfg: SimConfig::new(kind).without_verify(),
+            })
+            .collect();
+        let parallel4 = run_specs(&specs, 4);
+        let serial = run_specs(&specs, 1);
+        for ((p, s), kind) in parallel4.iter().zip(&serial).zip(ConfigKind::ALL) {
+            assert_eq!(p.cycles, s.cycles, "{kind}");
+            assert_eq!(p.x86_retired, s.x86_retired, "{kind}");
+            assert_eq!(p.coverage.to_bits(), s.coverage.to_bits(), "{kind}");
+            let reference =
+                run_workload_config(&direct, w.name, &SimConfig::new(kind).without_verify());
+            assert_eq!(p.cycles, reference.cycles, "{kind} vs legacy serial path");
+            assert_eq!(
+                p.ipc().to_bits(),
+                reference.ipc().to_bits(),
+                "{kind} IPC bit-identical"
+            );
+        }
     }
 }

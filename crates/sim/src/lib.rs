@@ -16,7 +16,12 @@
 //! [`simulate`] drives one trace through one configuration;
 //! [`experiment`] contains the multi-workload drivers that regenerate
 //! every table and figure of the paper's evaluation (see `EXPERIMENTS.md`
-//! at the repository root).
+//! at the repository root). The drivers fan their independent
+//! `(workload, segment, configuration)` jobs across a scoped worker pool
+//! ([`parallel`], sized by `REPLAY_JOBS` or the machine's core count) and
+//! share synthesized traces through the process-wide [`TraceStore`];
+//! because every job is pure and results merge in submission order, the
+//! numbers are bit-identical at every worker count.
 //!
 //! # Example
 //!
@@ -37,12 +42,15 @@
 mod config;
 pub mod experiment;
 mod injector;
+pub mod parallel;
 mod result;
 mod runner;
 mod tracecache;
+mod tracestore;
 
 pub use config::{ConfigKind, SimConfig};
 pub use injector::Injector;
 pub use result::SimResult;
 pub use runner::simulate;
 pub use tracecache::{TraceEntry, TraceFiller};
+pub use tracestore::TraceStore;

@@ -162,4 +162,82 @@ mod tests {
         assert!((a.coverage - 0.25).abs() < 1e-12, "weighted by x86 count");
         assert!((a.ipc() - 2.0).abs() < 1e-12);
     }
+
+    #[test]
+    fn merge_recomputes_ipc_from_summed_cycles() {
+        // IPC is *not* the average of the segment IPCs: it recomputes from
+        // total instructions over total cycles (cycle-weighted).
+        let mut a = blank(100, 400, 0.0); // IPC 4.0
+        let b = blank(300, 300, 0.0); // IPC 1.0
+        a.merge(&b);
+        // (400 + 300) / (100 + 300) = 1.75, not (4.0 + 1.0) / 2.
+        assert!((a.ipc() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_cycle_bins() {
+        use replay_timing::CycleBin;
+        let mut a = blank(10, 10, 0.0);
+        a.bins.add(CycleBin::Frame, 6);
+        a.bins.add(CycleBin::Assert, 4);
+        let mut b = blank(20, 20, 0.0);
+        b.bins.add(CycleBin::Frame, 5);
+        b.bins.add(CycleBin::ICache, 15);
+        a.merge(&b);
+        assert_eq!(a.bins.get(CycleBin::Frame), 11);
+        assert_eq!(a.bins.get(CycleBin::Assert), 4);
+        assert_eq!(a.bins.get(CycleBin::ICache), 15);
+        assert_eq!(a.bins.total(), 30);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_ratios_recompute() {
+        let mut a = blank(100, 100, 0.0);
+        a.dyn_uops_total = 1000;
+        a.dyn_uops_removed = 100;
+        a.dyn_loads_total = 200;
+        a.dyn_loads_removed = 20;
+        a.assert_events = 3;
+        let mut b = blank(100, 100, 0.0);
+        b.dyn_uops_total = 3000;
+        b.dyn_uops_removed = 900;
+        b.dyn_loads_total = 600;
+        b.dyn_loads_removed = 160;
+        b.assert_events = 4;
+        a.merge(&b);
+        assert_eq!(a.dyn_uops_total, 4000);
+        assert_eq!(a.dyn_uops_removed, 1000);
+        assert_eq!(a.assert_events, 7);
+        assert!((a.uop_removal() - 0.25).abs() < 1e-12, "from summed counts");
+        assert!((a.load_removal() - 180.0 / 800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_weighted_averages_ignore_empty_segments() {
+        // A zero-instruction segment contributes nothing to the weighted
+        // coverage / uop-ratio averages.
+        let mut a = blank(50, 200, 0.8);
+        let b = blank(10, 0, 0.0);
+        a.merge(&b);
+        assert!((a.coverage - 0.8).abs() < 1e-12);
+        assert!((a.uop_ratio - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_associative_on_counters() {
+        // The parallel engine folds segments left-to-right exactly like the
+        // serial loop; the counter parts are associative, so a sanity check
+        // that two groupings agree guards the fold against drift.
+        let segs = [blank(10, 40, 0.1), blank(20, 10, 0.9), blank(5, 50, 0.5)];
+        let mut left = segs[0].clone();
+        left.merge(&segs[1]);
+        left.merge(&segs[2]);
+        let mut right_tail = segs[1].clone();
+        right_tail.merge(&segs[2]);
+        let mut right = segs[0].clone();
+        right.merge(&right_tail);
+        assert_eq!(left.cycles, right.cycles);
+        assert_eq!(left.x86_retired, right.x86_retired);
+        assert_eq!(left.ipc().to_bits(), right.ipc().to_bits());
+    }
 }

@@ -1,22 +1,34 @@
 //! The simulation driver: one trace through one configuration.
+//!
+//! [`simulate`] is a pure function of `(trace, config)` — the runner owns
+//! every piece of mutable state it touches — so the parallel experiment
+//! engine ([`crate::experiment::run_specs`]) can run many instances
+//! concurrently with bit-identical results. The per-record and per-fetch
+//! hot paths are allocation-free once warm: the alias window recycles its
+//! address buffers ([`AliasWindow`]), cached frames are [`Arc`]-shared so
+//! a frame-cache hit is a reference-count bump, and frame probes reuse one
+//! [`ExecScratch`] instead of cloning the golden machine state.
 
 use crate::{ConfigKind, Injector, SimConfig, SimResult, TraceEntry, TraceFiller};
 use replay_core::{
-    exec_frame, optimize, AliasProfile, FrameOutcome, OptFrame, OptStats, OptimizerDatapath,
+    optimize, probe_frame, AliasProfile, ExecScratch, OptFrame, OptStats, OptimizerDatapath,
+    ProbeOutcome,
 };
 use replay_frame::{CacheEntry, FrameCache, FrameConstructor, RetireEvent};
 use replay_timing::{FetchPath, FrameFetch, Pipeline, X86Fetch};
 use replay_trace::{Trace, TraceRecord};
 use replay_verify::Verifier;
 use replay_x86::Inst;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A frame as stored in the frame cache: the (possibly optimized) renamed
 /// form, costing its *post-optimization* uop count in cache slots — the
-/// capacity benefit of optimization (§6.1).
+/// capacity benefit of optimization (§6.1). The frame body is shared, so
+/// cloning a cache hit never copies uop vectors.
 #[derive(Debug, Clone)]
 struct CachedFrame {
-    opt: OptFrame,
+    opt: Arc<OptFrame>,
 }
 
 impl CacheEntry for CachedFrame {
@@ -31,6 +43,83 @@ impl CacheEntry for CachedFrame {
 /// How many recent records feed the alias profiler.
 const ALIAS_WINDOW: usize = 512;
 
+/// Per-address toucher set for [`Runner::profile_span`]: at most 16
+/// distinct x86 addresses per data address, stored inline so the reusable
+/// map never allocates per entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Touchers {
+    len: u8,
+    x86: [u32; 16],
+}
+
+impl Touchers {
+    fn as_slice(&self) -> &[u32] {
+        &self.x86[..self.len as usize]
+    }
+    fn push(&mut self, x86: u32) {
+        if (self.len as usize) < self.x86.len() {
+            self.x86[self.len as usize] = x86;
+            self.len += 1;
+        }
+    }
+}
+
+/// A fixed-capacity ring over the most recent records' touched memory
+/// addresses.
+///
+/// This replaces a `VecDeque<(u32, Vec<u32>)>` that allocated a fresh
+/// address vector for **every retired record** under RPO. The ring keeps
+/// one reusable buffer per slot: once all `cap` slots have been filled,
+/// recording a record is a `clear` + `extend` of an existing buffer and
+/// the steady-state allocation rate drops to zero.
+#[derive(Debug)]
+struct AliasWindow {
+    cap: usize,
+    /// `(x86 address, data addresses touched)`, physically a ring.
+    slots: Vec<(u32, Vec<u32>)>,
+    /// Physical index of the oldest entry once the ring is full.
+    head: usize,
+}
+
+impl AliasWindow {
+    fn new(cap: usize) -> AliasWindow {
+        assert!(cap > 0, "window capacity must be positive");
+        AliasWindow {
+            cap,
+            slots: Vec::new(),
+            head: 0,
+        }
+    }
+
+    /// Records one retired instruction and the data addresses it touched,
+    /// evicting the oldest record when full.
+    fn push(&mut self, x86: u32, addrs: impl Iterator<Item = u32>) {
+        if self.slots.len() < self.cap {
+            self.slots.push((x86, addrs.collect()));
+        } else {
+            let slot = &mut self.slots[self.head];
+            slot.0 = x86;
+            slot.1.clear();
+            slot.1.extend(addrs);
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// The most recent `n` records, oldest first.
+    fn last(&self, n: usize) -> impl Iterator<Item = &(u32, Vec<u32>)> {
+        let len = self.slots.len();
+        let n = n.min(len);
+        (len - n..len).map(move |logical| {
+            let phys = if len < self.cap {
+                logical
+            } else {
+                (self.head + logical) % self.cap
+            };
+            &self.slots[phys]
+        })
+    }
+}
+
 struct Runner<'a> {
     cfg: &'a SimConfig,
     records: &'a [TraceRecord],
@@ -38,7 +127,7 @@ struct Runner<'a> {
     injector: Injector,
     constructor: FrameConstructor,
     frame_cache: FrameCache<CachedFrame>,
-    tc_cache: FrameCache<TraceEntry>,
+    tc_cache: FrameCache<Arc<TraceEntry>>,
     filler: TraceFiller,
     datapath: OptimizerDatapath<CachedFrame>,
     profile: AliasProfile,
@@ -48,7 +137,11 @@ struct Runner<'a> {
     path_mismatch_completions: u64,
     dyn_uops_removed: u64,
     dyn_loads_removed: u64,
-    recent_mem: VecDeque<(u32, Vec<u32>)>,
+    recent_mem: AliasWindow,
+    /// Reusable buffers for the frame-fetch hot path.
+    scratch: ExecScratch,
+    mem_addrs: Vec<Option<u32>>,
+    touchers: HashMap<u32, Touchers>,
 }
 
 impl<'a> Runner<'a> {
@@ -73,7 +166,10 @@ impl<'a> Runner<'a> {
             path_mismatch_completions: 0,
             dyn_uops_removed: 0,
             dyn_loads_removed: 0,
-            recent_mem: VecDeque::new(),
+            recent_mem: AliasWindow::new(ALIAS_WINDOW),
+            scratch: ExecScratch::new(),
+            mem_addrs: Vec::new(),
+            touchers: HashMap::new(),
         }
     }
 
@@ -117,22 +213,17 @@ impl<'a> Runner<'a> {
                 .filler
                 .retire(r.addr, flow.len(), r.taken().is_some(), ends)
             {
-                self.tc_cache.insert(t);
+                self.tc_cache.insert(Arc::new(t));
             }
         }
 
-        // Alias-profile window.
+        // Alias-profile window (ring slots recycle their buffers).
         if self.cfg.kind == ConfigKind::ReplayOpt {
-            let addrs: Vec<u32> = r
-                .mem_reads
-                .iter()
-                .chain(r.mem_writes.iter())
-                .map(|t| t.0)
-                .collect();
-            self.recent_mem.push_back((r.addr, addrs));
-            if self.recent_mem.len() > ALIAS_WINDOW {
-                self.recent_mem.pop_front();
-            }
+            let r = &self.records[idx];
+            self.recent_mem.push(
+                r.addr,
+                r.mem_reads.iter().chain(r.mem_writes.iter()).map(|t| t.0),
+            );
         }
 
         self.injector.apply(r);
@@ -146,18 +237,15 @@ impl<'a> Runner<'a> {
         // within the span: the optimizer checks arbitrary (store, load) and
         // (store, store) combinations, so partial pair sets would let it
         // keep re-speculating on already-observed aliases.
-        let mut touchers: HashMap<u32, Vec<u32>> = HashMap::new();
-        let start = self.recent_mem.len().saturating_sub(span_records);
-        for (x86, addrs) in self.recent_mem.iter().skip(start) {
+        self.touchers.clear();
+        for (x86, addrs) in self.recent_mem.last(span_records) {
             for &a in addrs {
-                let list = touchers.entry(a).or_default();
-                if !list.contains(x86) {
-                    for &other in list.iter() {
+                let list = self.touchers.entry(a).or_default();
+                if !list.as_slice().contains(x86) {
+                    for &other in list.as_slice() {
                         self.profile.record(other, *x86);
                     }
-                    if list.len() < 16 {
-                        list.push(*x86);
-                    }
+                    list.push(*x86);
                 }
             }
         }
@@ -179,8 +267,11 @@ impl<'a> Runner<'a> {
                 }
                 // Frames become visible only after the optimizer datapath's
                 // pipelined latency (10 cycles per uop).
-                self.datapath
-                    .offer(CachedFrame { opt }, frame.orig_uop_count, now);
+                self.datapath.offer(
+                    CachedFrame { opt: Arc::new(opt) },
+                    frame.orig_uop_count,
+                    now,
+                );
             }
             _ => {
                 // Basic rePLay: frames go straight into the cache (§6.3).
@@ -193,7 +284,7 @@ impl<'a> Runner<'a> {
                     loads_after: opt.load_count() as u64,
                     ..OptStats::default()
                 };
-                self.frame_cache.insert(CachedFrame { opt });
+                self.frame_cache.insert(CachedFrame { opt: Arc::new(opt) });
             }
         }
     }
@@ -202,36 +293,36 @@ impl<'a> Runner<'a> {
     /// `i`. Returns the number of records consumed.
     fn fetch_frame_instance(&mut self, opt: &OptFrame, i: usize) -> usize {
         let n = opt.x86_count();
-        let mut snapshot = self.injector.golden().clone();
-        let outcome = exec_frame(opt, &mut snapshot);
+        // Probe against the golden state without committing: the runner
+        // retires the traced records through `consume` either way, so the
+        // old clone-execute-discard of the sparse memory image was pure
+        // allocation overhead.
+        let outcome = probe_frame(opt, self.injector.golden(), &mut self.scratch);
         let path_ok = (0..n)
             .all(|j| i + j < self.records.len() && self.records[i + j].addr == opt.x86_addrs[j]);
 
-        if path_ok {
-            if let FrameOutcome::Completed { transactions } = &outcome {
-                let mut mem_addrs = vec![None; opt.len()];
-                for t in transactions {
-                    mem_addrs[t.uop_index] = Some(t.addr);
-                }
-                let exit_rec = &self.records[i + n - 1];
-                self.pipeline.fetch_frame(&FrameFetch {
-                    frame: opt,
-                    mem_addrs: &mem_addrs,
-                    fails_at: None,
-                    exit_taken: exit_rec.taken(),
-                    exit_indirect: matches!(exit_rec.inst, Inst::Ret | Inst::JmpInd { .. })
-                        .then_some(exit_rec.next_pc),
-                });
-                self.frames_x86 += n as u64;
-                self.dyn_uops_removed +=
-                    (opt.orig_uop_count.saturating_sub(opt.uop_count())) as u64;
-                self.dyn_loads_removed +=
-                    (opt.orig_load_count.saturating_sub(opt.load_count())) as u64;
-                for j in 0..n {
-                    self.consume(i + j);
-                }
-                return n;
+        if path_ok && outcome == ProbeOutcome::Completed {
+            self.mem_addrs.clear();
+            self.mem_addrs.resize(opt.len(), None);
+            for t in self.scratch.transactions() {
+                self.mem_addrs[t.uop_index] = Some(t.addr);
             }
+            let exit_rec = &self.records[i + n - 1];
+            self.pipeline.fetch_frame(&FrameFetch {
+                frame: opt,
+                mem_addrs: &self.mem_addrs,
+                fails_at: None,
+                exit_taken: exit_rec.taken(),
+                exit_indirect: matches!(exit_rec.inst, Inst::Ret | Inst::JmpInd { .. })
+                    .then_some(exit_rec.next_pc),
+            });
+            self.frames_x86 += n as u64;
+            self.dyn_uops_removed += (opt.orig_uop_count.saturating_sub(opt.uop_count())) as u64;
+            self.dyn_loads_removed += (opt.orig_load_count.saturating_sub(opt.load_count())) as u64;
+            for j in 0..n {
+                self.consume(i + j);
+            }
+            return n;
         }
 
         // The frame fails for this instance: assertion fire, unsafe-store
@@ -239,7 +330,7 @@ impl<'a> Runner<'a> {
         // away. Charge the pessimistic recovery, then refetch the original
         // instructions from the ICache along the *actual* path.
         if std::env::var_os("REPLAY_DEBUG_ABORTS").is_some() {
-            if let FrameOutcome::AssertFired { uop_index } = outcome {
+            if let ProbeOutcome::AssertFired { uop_index } = outcome {
                 let u = opt.slot(uop_index as replay_core::Slot);
                 eprintln!(
                     "abort: {} @x86 {:#x} frame {:#x}",
@@ -248,8 +339,8 @@ impl<'a> Runner<'a> {
             }
         }
         let fails_at = match outcome {
-            FrameOutcome::AssertFired { uop_index } => uop_index,
-            FrameOutcome::UnsafeConflict {
+            ProbeOutcome::AssertFired { uop_index } => uop_index,
+            ProbeOutcome::UnsafeConflict {
                 uop_index,
                 conflicts_with,
             } => {
@@ -258,16 +349,17 @@ impl<'a> Runner<'a> {
                 self.profile.record(a, b);
                 uop_index
             }
-            FrameOutcome::Faulted { uop_index } => uop_index,
-            FrameOutcome::Completed { .. } => {
+            ProbeOutcome::Faulted { uop_index } => uop_index,
+            ProbeOutcome::Completed => {
                 self.path_mismatch_completions += 1;
                 opt.len().saturating_sub(1)
             }
         };
-        let mem_addrs = vec![None; opt.len()];
+        self.mem_addrs.clear();
+        self.mem_addrs.resize(opt.len(), None);
         self.pipeline.fetch_frame(&FrameFetch {
             frame: opt,
-            mem_addrs: &mem_addrs,
+            mem_addrs: &self.mem_addrs,
             fails_at: Some(fails_at),
             exit_taken: None,
             exit_indirect: None,
@@ -332,7 +424,7 @@ impl<'a> Runner<'a> {
                     }
                 }
                 ConfigKind::Replay | ConfigKind::ReplayOpt => {
-                    let hit = self.frame_cache.lookup(addr).map(|c| c.opt.clone());
+                    let hit = self.frame_cache.lookup(addr).map(|c| Arc::clone(&c.opt));
                     match hit {
                         Some(opt) => {
                             i += self.fetch_frame_instance(&opt, i);
@@ -461,5 +553,41 @@ mod tests {
         let trace = short_trace("gzip", 6_000);
         let r = simulate(&trace, &SimConfig::new(ConfigKind::TraceCache));
         assert!(r.coverage > 0.2, "TC coverage {}", r.coverage);
+    }
+
+    #[test]
+    fn simulate_is_deterministic() {
+        // The parallel engine depends on simulate being a pure function of
+        // its inputs: two runs must agree bit for bit.
+        let trace = short_trace("vortex", 6_000);
+        for kind in ConfigKind::ALL {
+            let a = simulate(&trace, &SimConfig::new(kind).without_verify());
+            let b = simulate(&trace, &SimConfig::new(kind).without_verify());
+            assert_eq!(a.cycles, b.cycles, "{kind}");
+            assert_eq!(a.x86_retired, b.x86_retired, "{kind}");
+            assert_eq!(a.coverage.to_bits(), b.coverage.to_bits(), "{kind}");
+            assert_eq!(a.assert_events, b.assert_events, "{kind}");
+        }
+    }
+
+    #[test]
+    fn alias_window_recycles_and_orders() {
+        let mut w = AliasWindow::new(4);
+        for i in 0..10u32 {
+            w.push(i, [i * 10].into_iter());
+        }
+        // Window holds 6..=9, oldest first.
+        let got: Vec<u32> = w.last(4).map(|(x86, _)| *x86).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+        let tail: Vec<u32> = w.last(2).map(|(x86, _)| *x86).collect();
+        assert_eq!(tail, vec![8, 9]);
+        let addrs: Vec<&[u32]> = w.last(4).map(|(_, a)| a.as_slice()).collect();
+        assert_eq!(addrs, vec![&[60][..], &[70], &[80], &[90]]);
+        // Partially filled windows iterate in insertion order.
+        let mut p = AliasWindow::new(8);
+        p.push(1, [].into_iter());
+        p.push(2, [].into_iter());
+        let got: Vec<u32> = p.last(10).map(|(x86, _)| *x86).collect();
+        assert_eq!(got, vec![1, 2]);
     }
 }

@@ -1,0 +1,177 @@
+//! Process-wide memoization of synthesized workload traces.
+//!
+//! Synthesizing a trace segment (building the program image and
+//! interpreting it for tens of thousands of instructions) costs about as
+//! much as simulating it once — and before this module existed, every
+//! figure driver regenerated the same traces independently, once per
+//! driver per configuration. The [`TraceStore`] keys each generated
+//! segment by `(workload, segment, scale)` and hands out [`Arc`]-shared
+//! clones, so a trace is synthesized **at most once per process** no
+//! matter how many drivers, configurations, or worker threads ask for it.
+//!
+//! Generation is guarded per key by a [`OnceLock`]: concurrent requests
+//! for the *same* segment block until the first one finishes, while
+//! requests for *different* segments proceed in parallel (the outer map
+//! lock is held only to fetch the cell, never while generating). The
+//! [`TraceStore::generations`] counter records how many segments were
+//! actually synthesized — the integration tests assert it never exceeds
+//! the number of distinct keys requested.
+
+use crate::parallel;
+use replay_trace::{Trace, Workload};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A memoization key: workload name, segment index, per-segment scale.
+type Key = (&'static str, usize, usize);
+
+/// A process-wide cache of synthesized traces, shared via [`Arc`].
+///
+/// Most callers want the shared instance from [`TraceStore::global`];
+/// tests construct private stores with [`TraceStore::new`] to observe the
+/// generation counter in isolation.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    segments: Mutex<HashMap<Key, Arc<OnceLock<Arc<Trace>>>>>,
+    generations: AtomicU64,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> TraceStore {
+        TraceStore::default()
+    }
+
+    /// The shared per-process store used by the experiment drivers and the
+    /// CLI.
+    pub fn global() -> &'static TraceStore {
+        static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
+        GLOBAL.get_or_init(TraceStore::new)
+    }
+
+    /// One memoized trace segment of `scale` dynamic x86 instructions.
+    ///
+    /// The first request for a `(workload, segment, scale)` key generates
+    /// the trace; every later (or concurrent) request gets the same
+    /// [`Arc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment >= workload.segments` (as
+    /// [`Workload::segment_trace`] does).
+    pub fn segment(&self, workload: &Workload, segment: usize, scale: usize) -> Arc<Trace> {
+        let cell = {
+            let mut map = self.segments.lock().expect("trace store poisoned");
+            map.entry((workload.name, segment, scale))
+                .or_default()
+                .clone()
+        };
+        // Generate outside the map lock so distinct segments synthesize
+        // concurrently; the OnceLock serializes same-key racers.
+        cell.get_or_init(|| {
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(workload.segment_trace(segment, scale))
+        })
+        .clone()
+    }
+
+    /// All of a workload's segments at the given scale, memoized
+    /// per segment.
+    pub fn traces(&self, workload: &Workload, scale: usize) -> Vec<Arc<Trace>> {
+        (0..workload.segments)
+            .map(|s| self.segment(workload, s, scale))
+            .collect()
+    }
+
+    /// Synthesizes every `(workload, segment)` pair across `jobs` worker
+    /// threads so a following simulation fan-out starts from a warm store.
+    pub fn prefetch(&self, workloads: &[Workload], scale: usize, jobs: usize) {
+        let pairs: Vec<(usize, usize)> = workloads
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, w)| (0..w.segments).map(move |s| (wi, s)))
+            .collect();
+        parallel::par_map(jobs, &pairs, |&(wi, s)| {
+            self.segment(&workloads[wi], s, scale);
+        });
+    }
+
+    /// How many trace segments have actually been synthesized (not served
+    /// from cache) over the store's lifetime.
+    pub fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(workload, segment, scale)` keys requested so
+    /// far.
+    pub fn cached_segments(&self) -> usize {
+        self.segments.lock().expect("trace store poisoned").len()
+    }
+
+    /// Drops every cached trace (outstanding [`Arc`]s stay alive). The
+    /// generation counter is *not* reset — it counts synthesis work over
+    /// the store's whole lifetime.
+    pub fn clear(&self) {
+        self.segments.lock().expect("trace store poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replay_trace::workloads;
+
+    #[test]
+    fn generates_each_key_once() {
+        let store = TraceStore::new();
+        let w = workloads::by_name("gzip").unwrap();
+        let a = store.segment(&w, 0, 500);
+        let b = store.segment(&w, 0, 500);
+        assert!(Arc::ptr_eq(&a, &b), "same Arc served from cache");
+        assert_eq!(store.generations(), 1);
+
+        // A different scale is a different key.
+        let c = store.segment(&w, 0, 600);
+        assert_eq!(c.len(), 600);
+        assert_eq!(store.generations(), 2);
+        assert_eq!(store.cached_segments(), 2);
+    }
+
+    #[test]
+    fn traces_match_direct_generation() {
+        let store = TraceStore::new();
+        let w = workloads::by_name("eon").unwrap();
+        let memo = store.traces(&w, 400);
+        let direct = w.traces_scaled(400);
+        assert_eq!(memo.len(), direct.len());
+        for (m, d) in memo.iter().zip(&direct) {
+            assert_eq!(m.name, d.name);
+            assert_eq!(m.records(), d.records());
+        }
+        assert_eq!(store.generations(), w.segments as u64);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_generation() {
+        let store = TraceStore::new();
+        let w = workloads::by_name("crafty").unwrap();
+        let reqs: Vec<u32> = (0..16).collect();
+        let got = parallel::par_map(8, &reqs, |_| store.segment(&w, 0, 800));
+        for t in &got {
+            assert!(Arc::ptr_eq(t, &got[0]));
+        }
+        assert_eq!(store.generations(), 1, "racers coalesce onto one build");
+    }
+
+    #[test]
+    fn prefetch_fills_every_segment() {
+        let store = TraceStore::new();
+        let ws: Vec<Workload> = workloads::all().into_iter().take(3).collect();
+        let total: usize = ws.iter().map(|w| w.segments).sum();
+        store.prefetch(&ws, 300, 4);
+        assert_eq!(store.generations(), total as u64);
+        store.prefetch(&ws, 300, 4);
+        assert_eq!(store.generations(), total as u64, "second pass is free");
+    }
+}

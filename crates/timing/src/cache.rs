@@ -37,7 +37,10 @@ impl Cache {
         assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes > 0);
         assert!(cfg.assoc > 0 && cfg.size_bytes > 0);
         let lines = cfg.size_bytes / cfg.line_bytes;
-        assert!(lines % cfg.assoc == 0, "capacity must divide evenly");
+        assert!(
+            lines.is_multiple_of(cfg.assoc),
+            "capacity must divide evenly"
+        );
         let n_sets = (lines / cfg.assoc).max(1);
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         Cache {

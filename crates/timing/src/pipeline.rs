@@ -565,7 +565,6 @@ impl Pipeline {
         self.stall_until(drain, CycleBin::Stall);
         if self.cycle_bin.is_none() && self.bins.total() == 0 {
             // Degenerate empty run.
-            return;
         }
     }
 }

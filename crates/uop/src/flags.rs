@@ -114,7 +114,7 @@ impl fmt::Display for Flags {
 
 /// True if the byte has an even number of set bits (x86 PF convention).
 fn even_parity(byte: u8) -> bool {
-    byte.count_ones() % 2 == 0
+    byte.count_ones().is_multiple_of(2)
 }
 
 #[cfg(test)]

@@ -194,7 +194,8 @@ mod tests {
         assert_eq!(eval_alu(Opcode::Mov, 9, 0).unwrap().value, 9);
         assert_eq!(eval_alu(Opcode::MovImm, 0, 77).unwrap().value, 77);
         assert_eq!(eval_alu(Opcode::Lea, 100, 28).unwrap().value, 128);
-        assert!(!eval_alu(Opcode::Mov, 0, 0).unwrap().flags.zf || true);
+        // MOV does not write flags: the result carries a cleared flag set.
+        assert_eq!(eval_alu(Opcode::Mov, 0, 0).unwrap().flags, Flags::CLEAR);
     }
 
     #[test]

@@ -71,9 +71,7 @@ fn main() {
                 .without_verify(),
         );
         let rel = (r.ipc() - rp_ipc) / span;
-        let bar: String = std::iter::repeat('#')
-            .take((rel.clamp(0.0, 1.5) * 24.0) as usize)
-            .collect();
+        let bar: String = std::iter::repeat_n('#', (rel.clamp(0.0, 1.5) * 24.0) as usize).collect();
         println!("  no {label:4} {rel:5.2} {bar}");
     }
 }

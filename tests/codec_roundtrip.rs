@@ -1,119 +1,181 @@
-//! Property tests for the byte-level x86 codec and the trace file format:
+//! Randomized tests for the byte-level x86 codec and the trace file format:
 //! everything the encoder emits must decode back to itself, and trace files
-//! must round-trip exactly.
+//! must round-trip exactly. Fixed-seed random streams replace the former
+//! proptest strategies.
 
-use proptest::prelude::*;
+use replay_rng::SmallRng;
 use replay_trace::{read_trace, write_trace, Trace, TraceRecord};
 use replay_x86::{decode, encode, AluOp, CondX86, Gpr, Inst, MemOperand, ShiftOp};
 
-fn arb_gpr() -> impl Strategy<Value = Gpr> {
-    prop::sample::select(&Gpr::ALL[..])
+fn arb_gpr(rng: &mut SmallRng) -> Gpr {
+    *rng.choose(&Gpr::ALL)
 }
 
-fn arb_index() -> impl Strategy<Value = Gpr> {
+fn arb_index(rng: &mut SmallRng) -> Gpr {
     // ESP cannot be an index register.
-    prop::sample::select(
-        Gpr::ALL
-            .into_iter()
-            .filter(|g| *g != Gpr::Esp)
-            .collect::<Vec<_>>(),
-    )
-}
-
-fn arb_mem() -> impl Strategy<Value = MemOperand> {
-    prop_oneof![
-        (arb_gpr(), any::<i16>()).prop_map(|(b, d)| MemOperand::base_disp(b, d as i32)),
-        (
-            arb_gpr(),
-            arb_index(),
-            prop::sample::select(vec![1u8, 2, 4, 8]),
-            any::<i16>()
-        )
-            .prop_map(|(b, i, s, d)| MemOperand::base_index(b, i, s, d as i32)),
-        (0u32..0x7fff_0000).prop_map(MemOperand::absolute),
-    ]
-}
-
-fn arb_alu() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(&AluOp::ALL[..])
-}
-
-fn arb_cond() -> impl Strategy<Value = CondX86> {
-    prop::sample::select(&CondX86::ALL[..])
-}
-
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Inst::MovRR { dst, src }),
-        (arb_gpr(), any::<i32>()).prop_map(|(dst, imm)| Inst::MovRI { dst, imm }),
-        (arb_gpr(), arb_mem()).prop_map(|(dst, mem)| Inst::MovRM { dst, mem }),
-        (arb_mem(), arb_gpr()).prop_map(|(mem, src)| Inst::MovMR { mem, src }),
-        (arb_mem(), any::<i32>()).prop_map(|(mem, imm)| Inst::MovMI { mem, imm }),
-        (arb_gpr(), arb_mem()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
-        arb_gpr().prop_map(|src| Inst::PushR { src }),
-        any::<i32>().prop_map(|imm| Inst::PushI { imm }),
-        arb_gpr().prop_map(|dst| Inst::PopR { dst }),
-        (arb_alu(), arb_gpr(), arb_gpr()).prop_map(|(op, dst, src)| Inst::AluRR { op, dst, src }),
-        (arb_alu(), arb_gpr(), any::<i32>()).prop_map(|(op, dst, imm)| Inst::AluRI {
-            op,
-            dst,
-            imm
-        }),
-        (arb_alu(), arb_gpr(), arb_mem()).prop_map(|(op, dst, mem)| Inst::AluRM { op, dst, mem }),
-        (arb_alu(), arb_mem(), arb_gpr()).prop_map(|(op, mem, src)| Inst::AluMR { op, mem, src }),
-        (arb_gpr(), arb_gpr()).prop_map(|(a, b)| Inst::CmpRR { a, b }),
-        (arb_gpr(), any::<i32>()).prop_map(|(a, imm)| Inst::CmpRI { a, imm }),
-        (arb_gpr(), arb_mem()).prop_map(|(a, mem)| Inst::CmpRM { a, mem }),
-        (arb_gpr(), arb_gpr()).prop_map(|(a, b)| Inst::TestRR { a, b }),
-        (arb_gpr(), any::<i32>()).prop_map(|(a, imm)| Inst::TestRI { a, imm }),
-        arb_gpr().prop_map(|r| Inst::IncR { r }),
-        arb_gpr().prop_map(|r| Inst::DecR { r }),
-        arb_gpr().prop_map(|r| Inst::NegR { r }),
-        arb_gpr().prop_map(|r| Inst::NotR { r }),
-        (
-            prop::sample::select(vec![ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar]),
-            arb_gpr(),
-            0u8..32
-        )
-            .prop_map(|(op, r, imm)| Inst::ShiftRI { op, r, imm }),
-        (arb_gpr(), arb_gpr()).prop_map(|(dst, src)| Inst::ImulRR { dst, src }),
-        (arb_gpr(), arb_gpr(), any::<i32>()).prop_map(|(dst, src, imm)| Inst::ImulRRI {
-            dst,
-            src,
-            imm
-        }),
-        arb_gpr().prop_map(|src| Inst::DivR { src }),
-        Just(Inst::Cdq),
-        (0u32..0x7fff_0000).prop_map(|target| Inst::Jmp { target }),
-        (arb_cond(), 0u32..0x7fff_0000).prop_map(|(cc, target)| Inst::Jcc { cc, target }),
-        arb_gpr().prop_map(|r| Inst::JmpInd { r }),
-        (0u32..0x7fff_0000).prop_map(|target| Inst::Call { target }),
-        Just(Inst::Ret),
-        Just(Inst::Nop),
-        Just(Inst::LongFlow),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    /// encode → decode is the identity on the whole instruction space.
-    #[test]
-    fn encode_decode_roundtrip(inst in arb_inst(), addr in 0u32..0x7000_0000) {
-        let bytes = encode(&inst, addr);
-        prop_assert!(bytes.len() <= 15, "x86 length limit");
-        let (decoded, len) = decode(&bytes, addr)
-            .map_err(|e| TestCaseError::fail(format!("{inst}: {e}")))?;
-        prop_assert_eq!(len as usize, bytes.len());
-        prop_assert_eq!(decoded, inst);
+    loop {
+        let g = arb_gpr(rng);
+        if g != Gpr::Esp {
+            return g;
+        }
     }
+}
 
-    /// Trace files round-trip exactly.
-    #[test]
-    fn trace_file_roundtrip(
-        insts in prop::collection::vec(arb_inst(), 0..40),
-        name in "[a-z]{0,12}",
-    ) {
+fn arb_mem(rng: &mut SmallRng) -> MemOperand {
+    match rng.random_range(0..3u32) {
+        0 => MemOperand::base_disp(arb_gpr(rng), rng.random_range(-0x8000i32..0x8000)),
+        1 => MemOperand::base_index(
+            arb_gpr(rng),
+            arb_index(rng),
+            *rng.choose(&[1u8, 2, 4, 8]),
+            rng.random_range(-0x8000i32..0x8000),
+        ),
+        _ => MemOperand::absolute(rng.random_range(0u32..0x7fff_0000)),
+    }
+}
+
+fn arb_imm(rng: &mut SmallRng) -> i32 {
+    // Mix full-width and small immediates so short encodings get exercised.
+    match rng.random_range(0..3u32) {
+        0 => rng.random_range(i32::MIN..i32::MAX),
+        1 => rng.random_range(-128i32..128),
+        _ => rng.random_range(-0x8000i32..0x8000),
+    }
+}
+
+fn arb_inst(rng: &mut SmallRng) -> Inst {
+    let alu = *rng.choose(&AluOp::ALL);
+    let cc: CondX86 = *rng.choose(&CondX86::ALL);
+    match rng.random_range(0..33u32) {
+        0 => Inst::MovRR {
+            dst: arb_gpr(rng),
+            src: arb_gpr(rng),
+        },
+        1 => Inst::MovRI {
+            dst: arb_gpr(rng),
+            imm: arb_imm(rng),
+        },
+        2 => Inst::MovRM {
+            dst: arb_gpr(rng),
+            mem: arb_mem(rng),
+        },
+        3 => Inst::MovMR {
+            mem: arb_mem(rng),
+            src: arb_gpr(rng),
+        },
+        4 => Inst::MovMI {
+            mem: arb_mem(rng),
+            imm: arb_imm(rng),
+        },
+        5 => Inst::Lea {
+            dst: arb_gpr(rng),
+            mem: arb_mem(rng),
+        },
+        6 => Inst::PushR { src: arb_gpr(rng) },
+        7 => Inst::PushI { imm: arb_imm(rng) },
+        8 => Inst::PopR { dst: arb_gpr(rng) },
+        9 => Inst::AluRR {
+            op: alu,
+            dst: arb_gpr(rng),
+            src: arb_gpr(rng),
+        },
+        10 => Inst::AluRI {
+            op: alu,
+            dst: arb_gpr(rng),
+            imm: arb_imm(rng),
+        },
+        11 => Inst::AluRM {
+            op: alu,
+            dst: arb_gpr(rng),
+            mem: arb_mem(rng),
+        },
+        12 => Inst::AluMR {
+            op: alu,
+            mem: arb_mem(rng),
+            src: arb_gpr(rng),
+        },
+        13 => Inst::CmpRR {
+            a: arb_gpr(rng),
+            b: arb_gpr(rng),
+        },
+        14 => Inst::CmpRI {
+            a: arb_gpr(rng),
+            imm: arb_imm(rng),
+        },
+        15 => Inst::CmpRM {
+            a: arb_gpr(rng),
+            mem: arb_mem(rng),
+        },
+        16 => Inst::TestRR {
+            a: arb_gpr(rng),
+            b: arb_gpr(rng),
+        },
+        17 => Inst::TestRI {
+            a: arb_gpr(rng),
+            imm: arb_imm(rng),
+        },
+        18 => Inst::IncR { r: arb_gpr(rng) },
+        19 => Inst::DecR { r: arb_gpr(rng) },
+        20 => Inst::NegR { r: arb_gpr(rng) },
+        21 => Inst::NotR { r: arb_gpr(rng) },
+        22 => Inst::ShiftRI {
+            op: *rng.choose(&[ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar]),
+            r: arb_gpr(rng),
+            imm: rng.random_range(0u8..32),
+        },
+        23 => Inst::ImulRR {
+            dst: arb_gpr(rng),
+            src: arb_gpr(rng),
+        },
+        24 => Inst::ImulRRI {
+            dst: arb_gpr(rng),
+            src: arb_gpr(rng),
+            imm: arb_imm(rng),
+        },
+        25 => Inst::DivR { src: arb_gpr(rng) },
+        26 => Inst::Cdq,
+        27 => Inst::Jmp {
+            target: rng.random_range(0u32..0x7fff_0000),
+        },
+        28 => Inst::Jcc {
+            cc,
+            target: rng.random_range(0u32..0x7fff_0000),
+        },
+        29 => Inst::JmpInd { r: arb_gpr(rng) },
+        30 => Inst::Call {
+            target: rng.random_range(0u32..0x7fff_0000),
+        },
+        31 => Inst::Ret,
+        _ => *rng.choose(&[Inst::Nop, Inst::LongFlow]),
+    }
+}
+
+/// encode → decode is the identity on the whole instruction space.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xc0de_0001);
+    for case in 0..2048 {
+        let inst = arb_inst(&mut rng);
+        let addr = rng.random_range(0u32..0x7000_0000);
+        let bytes = encode(&inst, addr);
+        assert!(bytes.len() <= 15, "case {case}: x86 length limit");
+        let (decoded, len) =
+            decode(&bytes, addr).unwrap_or_else(|e| panic!("case {case}: {inst}: {e}"));
+        assert_eq!(len as usize, bytes.len(), "case {case}");
+        assert_eq!(decoded, inst, "case {case}");
+    }
+}
+
+/// Trace files round-trip exactly.
+#[test]
+fn trace_file_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xc0de_0002);
+    for case in 0..256 {
+        let n = rng.random_range(0usize..40);
+        let insts: Vec<Inst> = (0..n).map(|_| arb_inst(&mut rng)).collect();
+        let name: String = (0..rng.random_range(0usize..=12))
+            .map(|_| rng.random_range(b'a'..=b'z') as char)
+            .collect();
         let records: Vec<TraceRecord> = insts
             .iter()
             .enumerate()
@@ -135,28 +197,39 @@ proptest! {
         let t = Trace::new(name.clone(), records);
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
-        let back = read_trace(&buf[..]).map_err(|e| TestCaseError::fail(format!("{e}")))?;
-        prop_assert_eq!(&back.name, &name);
-        prop_assert_eq!(back.records(), t.records());
+        let back = read_trace(&buf[..]).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(&back.name, &name, "case {case}");
+        assert_eq!(back.records(), t.records(), "case {case}");
     }
+}
 
-    /// The decoder never panics on arbitrary bytes — it either produces an
-    /// instruction or a structured error.
-    #[test]
-    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..16), addr: u32) {
+/// The decoder never panics on arbitrary bytes — it either produces an
+/// instruction or a structured error.
+#[test]
+fn decoder_is_total() {
+    let mut rng = SmallRng::seed_from_u64(0xc0de_0003);
+    for _ in 0..4096 {
+        let n = rng.random_range(0usize..16);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.random_range(0u8..=255)).collect();
+        let addr = rng.next_u32();
         let _ = decode(&bytes, addr);
     }
+}
 
-    /// Whatever the decoder accepts, re-encoding reproduces the accepted
-    /// prefix (decode is a partial inverse of encode).
-    #[test]
-    fn decode_encode_agree(bytes in prop::collection::vec(any::<u8>(), 1..16), addr: u32) {
-        if let Ok((inst, len)) = decode(&bytes, addr) {
+/// Whatever the decoder accepts, re-encoding reproduces the accepted
+/// prefix (decode is a partial inverse of encode).
+#[test]
+fn decode_encode_agree() {
+    let mut rng = SmallRng::seed_from_u64(0xc0de_0004);
+    for case in 0..4096 {
+        let n = rng.random_range(1usize..16);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.random_range(0u8..=255)).collect();
+        let addr = rng.next_u32();
+        if let Ok((inst, _len)) = decode(&bytes, addr) {
             let re = encode(&inst, addr);
             let (inst2, len2) = decode(&re, addr).expect("re-encoded form decodes");
-            prop_assert_eq!(inst2, inst);
-            prop_assert_eq!(len2 as usize, re.len());
-            let _ = len;
+            assert_eq!(inst2, inst, "case {case}");
+            assert_eq!(len2 as usize, re.len(), "case {case}");
         }
     }
 }

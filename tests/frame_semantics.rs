@@ -53,7 +53,7 @@ fn optimized_frames_replay_their_records_exactly() {
                 (0..n).all(|j| i + j < records.len() && records[i + j].addr == frame.x86_addrs[j]);
             if path_ok {
                 let (opt, _) = optimize(frame, &AliasProfile::empty(), &OptConfig::default());
-                let mut entry = injector.golden().clone();
+                let entry = injector.golden().clone();
                 let outcome = exec_frame(&opt, &mut entry.clone());
                 if matches!(outcome, FrameOutcome::Completed { .. }) {
                     verify_against_records(&opt, injector.golden(), &records[i..i + n])

@@ -1,7 +1,12 @@
 //! Shared helpers for the cross-crate integration tests.
+//!
+//! The randomized tests draw from [`replay_rng::SmallRng`] with fixed
+//! seeds, so every run explores the same (large) sample of the input
+//! space: failures are reproducible by construction, with no external
+//! property-testing dependency.
 
-use proptest::prelude::*;
 use replay_frame::{Frame, FrameId};
+use replay_rng::SmallRng;
 use replay_uop::{ArchReg, MachineState, Opcode, Uop};
 
 /// Registers the generators draw from (GPRs plus two temporaries).
@@ -18,17 +23,16 @@ pub const TEST_REGS: [ArchReg; 10] = [
     ArchReg::Et1,
 ];
 
-/// A proptest strategy for a random architectural register.
-pub fn arb_reg() -> impl Strategy<Value = ArchReg> {
-    prop::sample::select(&TEST_REGS[..])
+/// A random architectural register.
+pub fn arb_reg(rng: &mut SmallRng) -> ArchReg {
+    *rng.choose(&TEST_REGS)
 }
 
-/// A proptest strategy for one straight-line, side-effect-bounded uop:
-/// ALU ops, loads, and stores over small displacements of `ESP`/`ESI` (so
-/// that memory addresses collide often enough to exercise the memory
-/// optimizer).
-pub fn arb_uop() -> impl Strategy<Value = Uop> {
-    let alu_ops = prop::sample::select(vec![
+/// One random straight-line, side-effect-bounded uop: ALU ops, loads, and
+/// stores over small displacements of `ESP`/`ESI` (so that memory addresses
+/// collide often enough to exercise the memory optimizer).
+pub fn arb_uop(rng: &mut SmallRng) -> Uop {
+    const ALU_OPS: [Opcode; 7] = [
         Opcode::Add,
         Opcode::Sub,
         Opcode::And,
@@ -36,55 +40,67 @@ pub fn arb_uop() -> impl Strategy<Value = Uop> {
         Opcode::Xor,
         Opcode::Shl,
         Opcode::Mul,
-    ]);
-    prop_oneof![
+    ];
+    const MEM_BASES: [ArchReg; 2] = [ArchReg::Esp, ArchReg::Esi];
+    match rng.random_range(0..8u32) {
         // Register-register ALU.
-        (alu_ops.clone(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, d, a, b)| Uop::alu(op, d, a, b)),
+        0 => Uop::alu(
+            *rng.choose(&ALU_OPS),
+            arb_reg(rng),
+            arb_reg(rng),
+            arb_reg(rng),
+        ),
         // Register-immediate ALU.
-        (alu_ops, arb_reg(), arb_reg(), -64i32..64)
-            .prop_map(|(op, d, a, imm)| Uop::alu_imm(op, d, a, imm)),
+        1 => Uop::alu_imm(
+            *rng.choose(&ALU_OPS),
+            arb_reg(rng),
+            arb_reg(rng),
+            rng.random_range(-64i32..64),
+        ),
         // Moves.
-        (arb_reg(), arb_reg()).prop_map(|(d, s)| Uop::mov(d, s)),
-        (arb_reg(), -1000i32..1000).prop_map(|(d, imm)| Uop::mov_imm(d, imm)),
+        2 => Uop::mov(arb_reg(rng), arb_reg(rng)),
+        3 => Uop::mov_imm(arb_reg(rng), rng.random_range(-1000i32..1000)),
         // Address arithmetic (never writes flags).
-        (arb_reg(), arb_reg(), -32i32..32).prop_map(|(d, b, disp)| Uop::lea(d, b, None, 1, disp)),
+        4 => Uop::lea(
+            arb_reg(rng),
+            arb_reg(rng),
+            None,
+            1,
+            rng.random_range(-32i32..32),
+        ),
         // Loads and stores on a small window of stack/heap slots.
-        (
-            arb_reg(),
-            prop::sample::select(vec![ArchReg::Esp, ArchReg::Esi]),
-            -4i32..4
-        )
-            .prop_map(|(d, b, w)| Uop::load(d, b, w * 4)),
-        (
-            prop::sample::select(vec![ArchReg::Esp, ArchReg::Esi]),
-            -4i32..4,
-            arb_reg()
-        )
-            .prop_map(|(b, w, s)| Uop::store(b, w * 4, s)),
+        5 => Uop::load(
+            arb_reg(rng),
+            *rng.choose(&MEM_BASES),
+            rng.random_range(-4i32..4) * 4,
+        ),
+        6 => Uop::store(
+            *rng.choose(&MEM_BASES),
+            rng.random_range(-4i32..4) * 4,
+            arb_reg(rng),
+        ),
         // Compares (flag producers).
-        (arb_reg(), -16i32..16).prop_map(|(a, imm)| Uop::cmp_imm(a, imm)),
-    ]
+        _ => Uop::cmp_imm(arb_reg(rng), rng.random_range(-16i32..16)),
+    }
 }
 
 /// A random straight-line frame of 4–40 uops.
-pub fn arb_frame() -> impl Strategy<Value = Frame> {
-    prop::collection::vec(arb_uop(), 4..40).prop_map(|mut uops| {
-        for (i, u) in uops.iter_mut().enumerate() {
-            u.x86_addr = 0x1000 + i as u32;
-        }
-        let n = uops.len();
-        Frame {
-            id: FrameId(0),
-            start_addr: 0x1000,
-            x86_addrs: (0..n as u32).map(|i| 0x1000 + i).collect(),
-            block_starts: vec![0],
-            expectations: vec![],
-            exit_next: 0x2000,
-            orig_uop_count: n,
-            uops,
-        }
-    })
+pub fn arb_frame(rng: &mut SmallRng) -> Frame {
+    let n = rng.random_range(4usize..40);
+    let mut uops: Vec<Uop> = (0..n).map(|_| arb_uop(rng)).collect();
+    for (i, u) in uops.iter_mut().enumerate() {
+        u.x86_addr = 0x1000 + i as u32;
+    }
+    Frame {
+        id: FrameId(0),
+        start_addr: 0x1000,
+        x86_addrs: (0..n as u32).map(|i| 0x1000 + i).collect(),
+        block_starts: vec![0],
+        expectations: vec![],
+        exit_next: 0x2000,
+        orig_uop_count: n,
+        uops,
+    }
 }
 
 /// A machine state with distinctive register values and disjoint

@@ -1,11 +1,14 @@
-//! Property tests: the optimizer never changes a frame's architectural
+//! Randomized tests: the optimizer never changes a frame's architectural
 //! effect, regardless of the input uop sequence, the optimization scope, or
 //! which passes are enabled — the invariant the paper's state verifier
 //! enforces (§5.1.3).
+//!
+//! Each test replays a fixed-seed random stream of frames, so every run
+//! checks the same (large) sample and failures reproduce deterministically.
 
-use proptest::prelude::*;
 use replay_core::{optimize, AliasProfile, OptConfig, OptFrame};
 use replay_integration::{arb_frame, seeded_machine};
+use replay_rng::SmallRng;
 use replay_verify::verify_differential;
 
 fn raw(frame: &replay_frame::Frame) -> OptFrame {
@@ -14,101 +17,166 @@ fn raw(frame: &replay_frame::Frame) -> OptFrame {
     f
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: usize = 512;
 
-    /// Full optimization preserves semantics from arbitrary entry states.
-    #[test]
-    fn full_optimization_is_sound(frame in arb_frame(), seed in 0u32..1000) {
+/// Full optimization preserves semantics from arbitrary entry states.
+#[test]
+fn full_optimization_is_sound() {
+    let mut rng = SmallRng::seed_from_u64(0x5001);
+    for case in 0..CASES {
+        let frame = arb_frame(&mut rng);
+        let seed = rng.random_range(0u32..1000);
         let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
         let entry = seeded_machine(seed);
-        verify_differential(&raw(&frame), &opt, &entry)
-            .map_err(|e| TestCaseError::fail(format!("{e}\nframe:\n{}", raw(&frame).listing())))?;
+        if let Err(e) = verify_differential(&raw(&frame), &opt, &entry) {
+            panic!("case {case}: {e}\nframe:\n{}", raw(&frame).listing());
+        }
     }
+}
 
-    /// Block-scope optimization preserves semantics too.
-    #[test]
-    fn block_scope_is_sound(frame in arb_frame(), seed in 0u32..1000) {
+/// Block-scope optimization preserves semantics too.
+#[test]
+fn block_scope_is_sound() {
+    let mut rng = SmallRng::seed_from_u64(0x5002);
+    for case in 0..CASES {
+        let frame = arb_frame(&mut rng);
+        let seed = rng.random_range(0u32..1000);
         let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::block_scope());
         let entry = seeded_machine(seed);
-        verify_differential(&raw(&frame), &opt, &entry)
-            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        if let Err(e) = verify_differential(&raw(&frame), &opt, &entry) {
+            panic!("case {case}: {e}");
+        }
     }
+}
 
-    /// Inter-block (trace-cache) scope preserves semantics too.
-    #[test]
-    fn inter_block_scope_is_sound(frame in arb_frame(), seed in 0u32..1000) {
-        let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::inter_block_scope());
+/// Inter-block (trace-cache) scope preserves semantics too.
+#[test]
+fn inter_block_scope_is_sound() {
+    let mut rng = SmallRng::seed_from_u64(0x5003);
+    for case in 0..CASES {
+        let frame = arb_frame(&mut rng);
+        let seed = rng.random_range(0u32..1000);
+        let (opt, _) = optimize(
+            &frame,
+            &AliasProfile::empty(),
+            &OptConfig::inter_block_scope(),
+        );
         let entry = seeded_machine(seed);
-        verify_differential(&raw(&frame), &opt, &entry)
-            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        if let Err(e) = verify_differential(&raw(&frame), &opt, &entry) {
+            panic!("case {case}: {e}");
+        }
     }
+}
 
-    /// Every leave-one-out configuration is sound (the Figure 10 trials
-    /// must not trade correctness for speed).
-    #[test]
-    fn ablations_are_sound(frame in arb_frame(), seed in 0u32..100,
-                           which in prop::sample::select(vec!["ASST", "CP", "CSE", "NOP", "RA", "SF"])) {
+/// Every leave-one-out configuration is sound (the Figure 10 trials must
+/// not trade correctness for speed).
+#[test]
+fn ablations_are_sound() {
+    let mut rng = SmallRng::seed_from_u64(0x5004);
+    const LABELS: [&str; 6] = ["ASST", "CP", "CSE", "NOP", "RA", "SF"];
+    for case in 0..CASES {
+        let frame = arb_frame(&mut rng);
+        let seed = rng.random_range(0u32..100);
+        let which = *rng.choose(&LABELS);
         let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::without(which));
         let entry = seeded_machine(seed);
-        verify_differential(&raw(&frame), &opt, &entry)
-            .map_err(|e| TestCaseError::fail(format!("no-{which}: {e}")))?;
+        if let Err(e) = verify_differential(&raw(&frame), &opt, &entry) {
+            panic!("case {case}: no-{which}: {e}");
+        }
     }
+}
 
-    /// The rescheduling extension (position-field reordering) preserves
-    /// semantics too.
-    #[test]
-    fn rescheduling_is_sound(frame in arb_frame(), seed in 0u32..1000) {
-        let cfg = OptConfig { reschedule: true, ..OptConfig::default() };
+/// The rescheduling extension (position-field reordering) preserves
+/// semantics too.
+#[test]
+fn rescheduling_is_sound() {
+    let mut rng = SmallRng::seed_from_u64(0x5005);
+    for case in 0..CASES {
+        let frame = arb_frame(&mut rng);
+        let seed = rng.random_range(0u32..1000);
+        let cfg = OptConfig {
+            reschedule: true,
+            ..OptConfig::default()
+        };
         let (opt, _) = optimize(&frame, &AliasProfile::empty(), &cfg);
         let entry = seeded_machine(seed);
-        verify_differential(&raw(&frame), &opt, &entry)
-            .map_err(|e| TestCaseError::fail(format!("rescheduled: {e}")))?;
+        if let Err(e) = verify_differential(&raw(&frame), &opt, &entry) {
+            panic!("case {case}: rescheduled: {e}");
+        }
     }
+}
 
-    /// Optimization never grows a frame, never adds loads, and never adds
-    /// memory operations (§4: the optimizer is prohibited from inserting
-    /// loads and stores).
-    #[test]
-    fn optimization_is_monotone(frame in arb_frame()) {
+/// Optimization never grows a frame, never adds loads, and never adds
+/// memory operations (§4: the optimizer is prohibited from inserting loads
+/// and stores).
+#[test]
+fn optimization_is_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x5006);
+    for case in 0..CASES {
+        let frame = arb_frame(&mut rng);
         let before = raw(&frame);
         let (opt, stats) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
-        prop_assert!(opt.uop_count() <= before.uop_count());
-        prop_assert!(opt.load_count() <= before.load_count());
+        assert!(opt.uop_count() <= before.uop_count(), "case {case}");
+        assert!(opt.load_count() <= before.load_count(), "case {case}");
         let stores = |f: &OptFrame| f.iter_valid().filter(|(_, u)| u.is_store()).count();
-        prop_assert_eq!(stores(&opt), stores(&before), "stores are never removed or added");
-        prop_assert_eq!(stats.uops_after as usize, opt.uop_count());
+        assert_eq!(
+            stores(&opt),
+            stores(&before),
+            "case {case}: stores are never removed or added"
+        );
+        assert_eq!(stats.uops_after as usize, opt.uop_count(), "case {case}");
     }
+}
 
-    /// Optimization is idempotent at the frame level: re-running the
-    /// pipeline on an already-optimized frame's architectural effect
-    /// changes nothing (the pipeline iterates internally to quiescence).
-    #[test]
-    fn internal_fixpoint_reached(frame in arb_frame()) {
-        let cfg = OptConfig { max_iterations: 16, ..OptConfig::default() };
-        let (opt1, s1) = optimize(&frame, &AliasProfile::empty(), &cfg);
-        prop_assert!(s1.iterations < 16, "pipeline quiesces well before the bound");
-        let _ = opt1;
+/// Optimization is idempotent at the frame level: the pipeline iterates
+/// internally to quiescence well before its bound.
+#[test]
+fn internal_fixpoint_reached() {
+    let mut rng = SmallRng::seed_from_u64(0x5007);
+    for case in 0..CASES {
+        let frame = arb_frame(&mut rng);
+        let cfg = OptConfig {
+            max_iterations: 16,
+            ..OptConfig::default()
+        };
+        let (_opt, s) = optimize(&frame, &AliasProfile::empty(), &cfg);
+        assert!(
+            s.iterations < 16,
+            "case {case}: pipeline quiesces well before the bound"
+        );
     }
+}
 
-    /// Structural invariants hold after optimization and rescheduling.
-    #[test]
-    fn structure_validates(frame in arb_frame()) {
+/// Structural invariants hold after optimization and rescheduling.
+#[test]
+fn structure_validates() {
+    let mut rng = SmallRng::seed_from_u64(0x5008);
+    for case in 0..CASES {
+        let frame = arb_frame(&mut rng);
         for cfg in [
             OptConfig::default(),
             OptConfig::block_scope(),
             OptConfig::inter_block_scope(),
-            OptConfig { reschedule: true, ..OptConfig::default() },
+            OptConfig {
+                reschedule: true,
+                ..OptConfig::default()
+            },
         ] {
             let (opt, _) = optimize(&frame, &AliasProfile::empty(), &cfg);
-            opt.validate().map_err(TestCaseError::fail)?;
+            if let Err(e) = opt.validate() {
+                panic!("case {case}: {e}");
+            }
         }
     }
+}
 
-    /// Use counts stay exact through a full optimization run (the
-    /// dataflow bookkeeping the hardware Dependency List maintains).
-    #[test]
-    fn use_counts_stay_consistent(frame in arb_frame()) {
+/// Use counts stay exact through a full optimization run (the dataflow
+/// bookkeeping the hardware Dependency List maintains).
+#[test]
+fn use_counts_stay_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0x5009);
+    for case in 0..CASES {
+        let frame = arb_frame(&mut rng);
         let (opt, _) = optimize(&frame, &AliasProfile::empty(), &OptConfig::default());
         for (i, _) in opt.iter_valid() {
             let recount = opt.value_users(i).len() as u32;
@@ -117,10 +185,10 @@ proptest! {
                 .iter()
                 .filter(|(_, src)| *src == replay_core::Src::Slot(i))
                 .count() as u32;
-            prop_assert_eq!(
+            assert_eq!(
                 opt.value_uses(i),
                 recount + live_out_refs,
-                "slot {} count drift", i
+                "case {case}: slot {i} count drift"
             );
         }
     }

@@ -1,0 +1,111 @@
+//! The parallel experiment engine must be an exact drop-in for the serial
+//! drivers: same rows, bit for bit, at every worker count — and the trace
+//! store must synthesize each `(workload, segment, scale)` at most once
+//! per process no matter how many drivers and threads ask.
+
+use replay_sim::experiment::{self, run_specs, SimSpec};
+use replay_sim::{parallel, ConfigKind, SimConfig, TraceStore};
+use replay_trace::workloads;
+use std::sync::Arc;
+
+const SCALE: usize = 2_500;
+
+/// Figure 6 rows are bit-identical between the legacy serial path and a
+/// heavily threaded run.
+#[test]
+fn ipc_rows_identical_serial_vs_parallel() {
+    let w = workloads::by_name("bzip2").unwrap();
+    let serial = experiment::ipc_row_jobs(&w, SCALE, 1);
+    let par = experiment::ipc_row_jobs(&w, SCALE, 8);
+    assert_eq!(serial.name, par.name);
+    for (a, b) in serial.ipc.iter().zip(&par.ipc) {
+        assert_eq!(a.to_bits(), b.to_bits(), "IPC bit-identical");
+    }
+    assert_eq!(serial.rpo_gain_pct.to_bits(), par.rpo_gain_pct.to_bits());
+    assert_eq!(serial.coverage.to_bits(), par.coverage.to_bits());
+    assert_eq!(
+        serial.assert_cycle_frac.to_bits(),
+        par.assert_cycle_frac.to_bits()
+    );
+}
+
+/// `run_specs` merges segments in the same order as the serial reference
+/// fold, so multi-segment workloads aggregate identically too.
+#[test]
+fn multi_segment_merge_is_order_stable() {
+    let w = workloads::by_name("excel").unwrap();
+    assert!(w.segments > 1, "needs a multi-segment workload");
+    let store = TraceStore::new();
+    let traces = store.traces(&w, SCALE);
+    let specs: Vec<SimSpec> = [ConfigKind::Replay, ConfigKind::ReplayOpt]
+        .into_iter()
+        .map(|kind| SimSpec {
+            name: w.name.to_string(),
+            traces: traces.clone(),
+            cfg: SimConfig::new(kind).without_verify(),
+        })
+        .collect();
+    let serial = run_specs(&specs, 1);
+    let par = run_specs(&specs, 6);
+    let flat = w.traces_scaled(SCALE);
+    for (i, kind) in [ConfigKind::Replay, ConfigKind::ReplayOpt]
+        .into_iter()
+        .enumerate()
+    {
+        let reference =
+            experiment::run_workload_config(&flat, w.name, &SimConfig::new(kind).without_verify());
+        for r in [&serial[i], &par[i]] {
+            assert_eq!(r.cycles, reference.cycles, "{kind}");
+            assert_eq!(r.x86_retired, reference.x86_retired, "{kind}");
+            assert_eq!(r.ipc().to_bits(), reference.ipc().to_bits(), "{kind}");
+            assert_eq!(
+                r.coverage.to_bits(),
+                reference.coverage.to_bits(),
+                "{kind} coverage weighted identically"
+            );
+            assert_eq!(r.bins.total(), reference.bins.total(), "{kind}");
+        }
+    }
+}
+
+/// Traces are generated at most once per `(workload, scale)` per store,
+/// across drivers, configurations, and worker threads.
+#[test]
+fn traces_synthesized_at_most_once() {
+    let store = TraceStore::new();
+    let ws: Vec<_> = workloads::all().into_iter().take(4).collect();
+    let expected: u64 = ws.iter().map(|w| w.segments as u64).sum();
+
+    // Simulate two "drivers" hitting the same store from many threads:
+    // each request asks for every workload's full segment set.
+    let requests: Vec<usize> = (0..12).collect();
+    parallel::par_map(6, &requests, |_| {
+        for w in &ws {
+            let traces = store.traces(w, SCALE);
+            assert_eq!(traces.len(), w.segments);
+        }
+    });
+    assert_eq!(store.generations(), expected, "first wave synthesizes all");
+
+    parallel::par_map(6, &requests, |_| {
+        for w in &ws {
+            store.traces(w, SCALE);
+        }
+    });
+    assert_eq!(
+        store.generations(),
+        expected,
+        "second wave is all cache hits"
+    );
+    assert_eq!(store.cached_segments(), expected as usize);
+}
+
+/// The global store memoizes across *different* entry points: a driver
+/// batch and a direct segment request share the same Arc.
+#[test]
+fn global_store_shares_across_entry_points() {
+    let w = workloads::by_name("gzip").unwrap();
+    let a = TraceStore::global().segment(&w, 0, 1_234);
+    let b = TraceStore::global().traces(&w, 1_234);
+    assert!(Arc::ptr_eq(&a, &b[0]), "same trace object, not a copy");
+}
