@@ -1,0 +1,196 @@
+//! Mutation-style fault injection: deliberately corrupt an optimized
+//! frame and assert that the differential oracle *catches* it.
+//!
+//! A property harness is only as good as its oracle; these mutations are
+//! the oracle's own test. Each [`FaultKind`] models a plausible optimizer
+//! bug (a pass dropping a store, fusing the wrong operands, reading stale
+//! flags, …) expressed through the same `OptFrame` mutation API the real
+//! passes use — so an injected frame is always structurally valid
+//! ([`OptFrame::validate`] holds) and differs from the original only
+//! semantically, exactly like a real miscompile would.
+
+use replay_core::{FlagsSrc, Operand, OptFrame, Src};
+use replay_rng::SmallRng;
+use replay_uop::{ArchReg, Opcode};
+
+/// A planted-bug species.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Remove a store (as if dead-store elimination were too eager).
+    DropStore,
+    /// Remove an assertion and its expectation (as if constant propagation
+    /// "proved" a condition it didn't).
+    DropAssert,
+    /// Rewire an assert's flags input to the live-in flags (a stale-flags
+    /// bug: the pass forgot an intervening flags writer).
+    StaleFlags,
+    /// Swap the operands of a non-commutative operation (a bad
+    /// canonicalization during CSE/reassociation).
+    SwapOperands,
+    /// Perturb an immediate (an off-by-N in displacement folding).
+    PerturbImm,
+    /// Redirect all uses of a value to a live-in register (a wrong
+    /// copy-propagation substitution).
+    RedirectUse,
+}
+
+impl FaultKind {
+    /// Every mutation kind.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::DropStore,
+        FaultKind::DropAssert,
+        FaultKind::StaleFlags,
+        FaultKind::SwapOperands,
+        FaultKind::PerturbImm,
+        FaultKind::RedirectUse,
+    ];
+
+    /// The pass sequence to run before injecting this fault.
+    ///
+    /// Most kinds mutate the full pipeline's output. Stale-flags needs an
+    /// assert that still *reads* a flags producer, so assert fusion (which
+    /// rewrites `Cmp` + `Assert` into a self-contained `AssertCmp`) is
+    /// skipped for it.
+    pub fn passes(self) -> Vec<replay_core::PassId> {
+        use replay_core::PassId;
+        match self {
+            FaultKind::StaleFlags => PassId::ALL
+                .into_iter()
+                .filter(|&p| p != PassId::AssertFuse)
+                .collect(),
+            _ => PassId::ALL.to_vec(),
+        }
+    }
+
+    /// A short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::DropStore => "drop-store",
+            FaultKind::DropAssert => "drop-assert",
+            FaultKind::StaleFlags => "stale-flags",
+            FaultKind::SwapOperands => "swap-operands",
+            FaultKind::PerturbImm => "perturb-imm",
+            FaultKind::RedirectUse => "redirect-use",
+        }
+    }
+}
+
+/// Opcodes for which operand order matters.
+fn non_commutative(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Sub | Opcode::Shl | Opcode::Shr | Opcode::Sar | Opcode::Cmp
+    )
+}
+
+/// True if the uop's immediate participates in its semantics.
+fn imm_matters(u: &replay_core::OptUop) -> bool {
+    match u.op {
+        Opcode::MovImm | Opcode::Load | Opcode::Store | Opcode::Lea => true,
+        // ALU/assert forms use the immediate only when src_b is absent.
+        op if op.is_alu() => u.src_b.is_none(),
+        Opcode::AssertCmp | Opcode::AssertTest => u.src_b.is_none(),
+        _ => false,
+    }
+}
+
+/// Applies one mutation of the given kind to `f`, choosing the site with
+/// `rng`. Returns `false` if the frame has no applicable site (the caller
+/// should try another frame). On success the frame is compacted and still
+/// satisfies [`OptFrame::validate`].
+pub fn inject(f: &mut OptFrame, kind: FaultKind, rng: &mut SmallRng) -> bool {
+    let sites: Vec<u16> = f
+        .iter_valid()
+        .filter(|(_, u)| match kind {
+            FaultKind::DropStore => u.is_store(),
+            FaultKind::DropAssert => u.op.is_assert(),
+            FaultKind::StaleFlags => matches!(u.flags_src, Some(FlagsSrc::Slot(_))),
+            FaultKind::SwapOperands => {
+                non_commutative(u.op)
+                    && u.src_a.is_some()
+                    && u.src_b.is_some()
+                    && u.src_a != u.src_b
+            }
+            FaultKind::PerturbImm => imm_matters(u),
+            FaultKind::RedirectUse => u.dst_arch.is_some(),
+        })
+        .filter(|&(s, _)| kind != FaultKind::RedirectUse || f.value_uses(s) > 0)
+        .map(|(s, _)| s)
+        .collect();
+    let Some(&site) = (!sites.is_empty()).then(|| rng.choose(&sites)) else {
+        return false;
+    };
+    let u = f.slot(site).clone();
+    match kind {
+        FaultKind::DropStore => f.invalidate(site),
+        FaultKind::DropAssert => {
+            f.remove_expectation_at(site);
+            f.invalidate(site);
+        }
+        FaultKind::StaleFlags => f.rewrite_flags_src(site, Some(FlagsSrc::LiveIn)),
+        FaultKind::SwapOperands => {
+            f.rewrite_operand(site, Operand::A, u.src_b);
+            f.rewrite_operand(site, Operand::B, u.src_a);
+        }
+        FaultKind::PerturbImm => {
+            f.rewrite_operand_imm(site, Operand::B, u.src_b, u.imm ^ 4);
+        }
+        FaultKind::RedirectUse => {
+            let reg = *rng.choose(&ArchReg::GPRS);
+            f.redirect_value_uses(site, Src::LiveIn(reg));
+        }
+    }
+    f.compact();
+    debug_assert_eq!(f.validate(), Ok(()));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::arb_frame;
+    use crate::oracle::{apply_passes, raw_frame};
+    use replay_core::PassId;
+
+    #[test]
+    fn injection_preserves_structural_validity() {
+        let mut rng = SmallRng::seed_from_u64(0xFA01);
+        for kind in FaultKind::ALL {
+            let mut applied = 0;
+            for _ in 0..60 {
+                let frame = arb_frame(&mut rng);
+                let Ok(mut opt) = apply_passes(&frame, &kind.passes()) else {
+                    panic!("pipeline failed on generated frame");
+                };
+                if inject(&mut opt, kind, &mut rng) {
+                    opt.validate()
+                        .unwrap_or_else(|e| panic!("{} left an invalid frame: {e}", kind.name()));
+                    applied += 1;
+                }
+            }
+            assert!(applied > 0, "{} never found a site", kind.name());
+        }
+    }
+
+    #[test]
+    fn injected_frames_actually_differ() {
+        // At least sometimes, an injected frame must produce a different
+        // observable result than the original — otherwise the sensitivity
+        // test upstream would be vacuous.
+        let mut rng = SmallRng::seed_from_u64(0xFA02);
+        let mut differed = 0;
+        for i in 0..40u32 {
+            let frame = arb_frame(&mut rng);
+            let mut opt = apply_passes(&frame, &PassId::ALL).expect("pipeline");
+            if !inject(&mut opt, FaultKind::PerturbImm, &mut rng) {
+                continue;
+            }
+            let original = raw_frame(&frame);
+            let entry = crate::gen::entry_state(i);
+            if replay_verify::verify_differential(&original, &opt, &entry).is_err() {
+                differed += 1;
+            }
+        }
+        assert!(differed > 0, "perturb-imm was never observable");
+    }
+}

@@ -1,0 +1,232 @@
+//! Random-but-valid frame and machine-state generation.
+//!
+//! The generator produces straight-line frames over a small register and
+//! memory vocabulary chosen so that the optimizer's passes actually fire:
+//! memory accesses reuse a handful of `ESP`/`ESI` slots (store forwarding,
+//! redundant loads), immediates are small (constant folding), and compare +
+//! assert pairs appear with moderate probability (assert fusion, assertion
+//! outcomes in the oracle).
+//!
+//! `Div`/`Rem` are deliberately excluded: a dead faulting division is
+//! legally removable by dead-code elimination (a `Faulted` outcome has no
+//! architectural side effect in this model), so including them would flood
+//! the differential oracle with benign outcome divergences. See
+//! `TESTING.md`.
+
+use replay_frame::{ControlExpectation, Frame, FrameId};
+use replay_rng::SmallRng;
+use replay_uop::{ArchReg, Cond, Flags, MachineState, Opcode, Uop};
+
+/// Registers the generator draws from: the eight GPRs plus two
+/// micro-architectural temporaries (temporaries are dead at frame exit,
+/// which exercises dead-code elimination).
+pub const GEN_REGS: [ArchReg; 10] = [
+    ArchReg::Eax,
+    ArchReg::Ecx,
+    ArchReg::Edx,
+    ArchReg::Ebx,
+    ArchReg::Esp,
+    ArchReg::Ebp,
+    ArchReg::Esi,
+    ArchReg::Edi,
+    ArchReg::Et0,
+    ArchReg::Et1,
+];
+
+/// ALU opcodes the generator emits (no `Div`/`Rem`; see module docs).
+const ALU_OPS: [Opcode; 9] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Mul,
+    Opcode::Neg,
+];
+
+/// Base registers for generated memory accesses. Two bases with small
+/// displacement windows make address collisions (and thus memory
+/// optimization opportunities) common.
+const MEM_BASES: [ArchReg; 2] = [ArchReg::Esp, ArchReg::Esi];
+
+/// A random register from [`GEN_REGS`].
+pub fn arb_reg(rng: &mut SmallRng) -> ArchReg {
+    *rng.choose(&GEN_REGS)
+}
+
+/// One random straight-line uop.
+pub fn arb_uop(rng: &mut SmallRng) -> Uop {
+    match rng.random_range(0..10u32) {
+        // Register-register ALU.
+        0 => {
+            let op = *rng.choose(&ALU_OPS);
+            if op == Opcode::Neg {
+                let mut u = Uop::new(op);
+                u.dst = Some(arb_reg(rng));
+                u.src_a = Some(arb_reg(rng));
+                u.writes_flags = true;
+                u
+            } else {
+                Uop::alu(op, arb_reg(rng), arb_reg(rng), arb_reg(rng))
+            }
+        }
+        // Register-immediate ALU.
+        1 => Uop::alu_imm(
+            *rng.choose(&ALU_OPS[..8]),
+            arb_reg(rng),
+            arb_reg(rng),
+            rng.random_range(-64i32..64),
+        ),
+        // Moves.
+        2 => Uop::mov(arb_reg(rng), arb_reg(rng)),
+        3 => Uop::mov_imm(arb_reg(rng), rng.random_range(-1000i32..1000)),
+        // Address arithmetic (never writes flags).
+        4 => Uop::lea(
+            arb_reg(rng),
+            arb_reg(rng),
+            None,
+            1,
+            rng.random_range(-32i32..32),
+        ),
+        // Loads and stores on a small window of stack/heap slots.
+        5 => Uop::load(
+            arb_reg(rng),
+            *rng.choose(&MEM_BASES),
+            rng.random_range(-4i32..4) * 4,
+        ),
+        6 | 7 => Uop::store(
+            *rng.choose(&MEM_BASES),
+            rng.random_range(-4i32..4) * 4,
+            arb_reg(rng),
+        ),
+        // Compares and tests (flag producers).
+        8 => Uop::cmp_imm(arb_reg(rng), rng.random_range(-16i32..16)),
+        _ => Uop::cmp(arb_reg(rng), arb_reg(rng)),
+    }
+}
+
+/// A random straight-line frame of 4–32 uops, optionally containing
+/// compare + assert pairs (with matching control expectations) and a block
+/// boundary.
+pub fn arb_frame(rng: &mut SmallRng) -> Frame {
+    let n = rng.random_range(4usize..32);
+    let mut uops: Vec<Uop> = (0..n).map(|_| arb_uop(rng)).collect();
+
+    // With moderate probability, plant one or two cmp+assert pairs: the
+    // assertion-outcome half of the oracle (and assert fusion) needs them.
+    if rng.random_bool(0.4) {
+        for _ in 0..rng.random_range(1usize..=2) {
+            let at = rng.random_range(0usize..=uops.len());
+            let cc = *rng.choose(&Cond::ALL);
+            uops.insert(at, Uop::assert_cc(cc));
+            uops.insert(at, Uop::cmp_imm(arb_reg(rng), rng.random_range(-8i32..8)));
+        }
+    }
+
+    let n = uops.len();
+    for (i, u) in uops.iter_mut().enumerate() {
+        u.x86_addr = 0x1000 + i as u32;
+    }
+    let expectations: Vec<ControlExpectation> = uops
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.op.is_assert())
+        .map(|(i, u)| ControlExpectation {
+            x86_addr: u.x86_addr,
+            expected_next: 0x2000,
+            uop_index: i,
+        })
+        .collect();
+
+    // Occasionally split the frame into two blocks so block-scope state
+    // (block_of) is exercised even though the oracle optimizes at frame
+    // scope.
+    let mut block_starts = vec![0];
+    if n >= 8 && rng.random_bool(0.25) {
+        block_starts.push(rng.random_range(2usize..n - 1));
+    }
+
+    Frame {
+        id: FrameId(0),
+        start_addr: 0x1000,
+        x86_addrs: (0..n as u32).map(|i| 0x1000 + i).collect(),
+        block_starts,
+        expectations,
+        exit_next: 0x2000,
+        orig_uop_count: n,
+        uops,
+    }
+}
+
+/// A machine state derived deterministically from a 32-bit seed:
+/// distinctive register values, random entry flags, and seeded, disjoint
+/// stack/heap windows covering every address the generator can touch.
+pub fn entry_state(seed: u32) -> MachineState {
+    let mut m = MachineState::new();
+    for (i, r) in ArchReg::GPRS.iter().enumerate() {
+        m.set_reg(*r, seed.wrapping_mul(31).wrapping_add(i as u32 * 0x101));
+    }
+    m.set_reg(ArchReg::Esp, 0x0009_0000);
+    m.set_reg(ArchReg::Esi, 0x000a_0000);
+    m.set_flags(Flags::from_bits((seed >> 8) as u8 & 0x1f));
+    for w in -8i32..8 {
+        m.store32(
+            0x0009_0000u32.wrapping_add((w * 4) as u32),
+            seed ^ (w as u32),
+        );
+        m.store32(
+            0x000a_0000u32.wrapping_add((w * 4) as u32),
+            seed ^ 0x5555 ^ (w as u32),
+        );
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replay_core::OptFrame;
+
+    #[test]
+    fn generated_frames_are_structurally_valid() {
+        let mut rng = SmallRng::seed_from_u64(0x9e37);
+        for _ in 0..200 {
+            let frame = arb_frame(&mut rng);
+            let f = OptFrame::from_frame(&frame);
+            f.validate().expect("generated frame remaps cleanly");
+            assert!(frame.uops.len() >= 4);
+            assert!(!frame.block_starts.is_empty() && frame.block_starts[0] == 0);
+            for e in &frame.expectations {
+                assert!(frame.uops[e.uop_index].op.is_assert());
+            }
+        }
+    }
+
+    #[test]
+    fn generator_never_emits_divisions() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let frame = arb_frame(&mut rng);
+            assert!(frame
+                .uops
+                .iter()
+                .all(|u| !matches!(u.op, Opcode::Div | Opcode::Rem)));
+        }
+    }
+
+    #[test]
+    fn entry_state_is_deterministic() {
+        let a = entry_state(77);
+        let b = entry_state(77);
+        for r in ArchReg::GPRS {
+            assert_eq!(a.reg(r), b.reg(r));
+        }
+        assert_eq!(a.flags(), b.flags());
+        assert_eq!(a.load32(0x0009_0000), b.load32(0x0009_0000));
+        // Different seeds give different states.
+        let c = entry_state(78);
+        assert_ne!(a.reg(ArchReg::Eax), c.reg(ArchReg::Eax));
+    }
+}

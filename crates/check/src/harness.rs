@@ -1,0 +1,384 @@
+//! The batch harness: deterministic parallel execution of check cases.
+//!
+//! Every case is a pure function of `(master seed, case index)`: the
+//! case's generator RNG is [`SmallRng::split_stream`]`(seed, index)`, so
+//! results are independent of how cases are distributed over worker
+//! threads — a batch at `--jobs 8` is bit-identical to `--jobs 1`. The
+//! fan-out itself rides the simulator's [`replay_sim::parallel::par_map`]
+//! pool, which returns results in submission order.
+
+use crate::corpus::CorpusCase;
+use crate::fault::{inject, FaultKind};
+use crate::gen::{arb_frame, entry_state};
+use crate::oracle::{apply_passes, check_frame, raw_frame, CheckError};
+use crate::shrink::shrink;
+use replay_core::PassId;
+use replay_frame::Frame;
+use replay_rng::SmallRng;
+use replay_sim::parallel::par_map;
+use replay_verify::verify_differential;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which pass sequences a run exercises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassSelection {
+    /// Rotate per case: canonical pipeline, each single pass, and random
+    /// permutations/prefixes (the default; widest coverage).
+    Mixed,
+    /// The canonical seven-pass pipeline only.
+    Pipeline,
+    /// One fixed sequence for every case.
+    Sequence(Vec<PassId>),
+}
+
+impl PassSelection {
+    /// Parses a CLI argument: `all`/`mixed`, `pipeline`, or a
+    /// comma-separated pass list such as `NOP,CP,DCE`.
+    pub fn parse(s: &str) -> Result<PassSelection, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "all" | "mixed" => Ok(PassSelection::Mixed),
+            "pipeline" | "canonical" => Ok(PassSelection::Pipeline),
+            _ => {
+                let passes: Vec<PassId> = s
+                    .split(',')
+                    .map(|p| {
+                        PassId::from_name(p.trim())
+                            .ok_or_else(|| format!("unknown pass {:?}", p.trim()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if passes.is_empty() {
+                    return Err("empty pass list".into());
+                }
+                Ok(PassSelection::Sequence(passes))
+            }
+        }
+    }
+}
+
+/// Configuration for one check run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Number of random cases.
+    pub cases: u64,
+    /// Master seed; every case derives from `(seed, index)`.
+    pub seed: u64,
+    /// Pass-sequence selection strategy.
+    pub passes: PassSelection,
+    /// Worker threads for the batch.
+    pub jobs: usize,
+    /// Entry states probed per case.
+    pub entries_per_case: u32,
+    /// Shrink counterexamples before reporting (disable for speed when
+    /// iterating on the harness itself).
+    pub shrink: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            cases: 1000,
+            seed: 42,
+            passes: PassSelection::Mixed,
+            jobs: 1,
+            entries_per_case: 4,
+            shrink: true,
+        }
+    }
+}
+
+/// A failing case, shrunk and ready to persist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// The corpus form (frame already shrunk, provenance filled in).
+    pub case: CorpusCase,
+    /// The failure, re-checked on the shrunk frame.
+    pub error: CheckError,
+}
+
+/// The outcome of one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReport {
+    /// Cases run.
+    pub cases: u64,
+    /// Distinct pass sequences exercised.
+    pub sequences: BTreeSet<Vec<PassId>>,
+    /// Distinct non-canonical sequences (permutations/prefixes/singles).
+    pub permutations: u64,
+    /// Entry probes where both forms completed and agreed.
+    pub entries_completed: u64,
+    /// Entry probes where both forms rolled back (vacuous agreement).
+    pub entries_aborted: u64,
+    /// Total uops removed across all cases (a sanity signal that the
+    /// passes actually fired on the generated population).
+    pub uops_removed: u64,
+    /// All failures found, in case-index order.
+    pub failures: Vec<Counterexample>,
+}
+
+impl CheckReport {
+    /// True if the batch found no failure.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "checked {} cases over {} pass sequences ({} non-canonical)",
+            self.cases,
+            self.sequences.len(),
+            self.permutations
+        )?;
+        writeln!(
+            f,
+            "entries: {} completed, {} aborted; {} uops removed total",
+            self.entries_completed, self.entries_aborted, self.uops_removed
+        )?;
+        if self.failures.is_empty() {
+            write!(f, "no failures")
+        } else {
+            write!(f, "{} FAILURES", self.failures.len())
+        }
+    }
+}
+
+/// The pass sequence case `index` runs under `selection`.
+///
+/// For [`PassSelection::Mixed`] the rotation is: case 0 (mod 3) → the
+/// canonical pipeline; case 1 (mod 3) → a single pass (cycling through all
+/// seven); case 2 (mod 3) → a shuffled permutation, sometimes truncated to
+/// a prefix. Over N cases that yields roughly N/3 distinct random
+/// permutations.
+fn select_passes(selection: &PassSelection, index: u64, rng: &mut SmallRng) -> Vec<PassId> {
+    match selection {
+        PassSelection::Pipeline => PassId::ALL.to_vec(),
+        PassSelection::Sequence(seq) => seq.clone(),
+        PassSelection::Mixed => match index % 3 {
+            0 => PassId::ALL.to_vec(),
+            1 => vec![PassId::ALL[(index / 3) as usize % PassId::ALL.len()]],
+            _ => {
+                let mut seq = PassId::ALL.to_vec();
+                rng.shuffle(&mut seq);
+                if rng.random_bool(0.3) {
+                    let keep = rng.random_range(3usize..=seq.len());
+                    seq.truncate(keep);
+                }
+                seq
+            }
+        },
+    }
+}
+
+/// Per-case result, aggregated by [`run_check`].
+struct CaseOutcome {
+    passes: Vec<PassId>,
+    entries_completed: u64,
+    entries_aborted: u64,
+    uops_removed: u64,
+    failure: Option<Counterexample>,
+}
+
+/// Runs one case: generate, optimize under the selected sequence, check,
+/// and (on failure) shrink.
+fn run_case(cfg: &CheckConfig, index: u64) -> CaseOutcome {
+    let mut rng = SmallRng::split_stream(cfg.seed, index);
+    let frame = arb_frame(&mut rng);
+    let passes = select_passes(&cfg.passes, index, &mut rng);
+    let entry_seeds: Vec<u32> = (0..cfg.entries_per_case).map(|_| rng.next_u32()).collect();
+
+    match check_frame(&frame, &passes, &entry_seeds) {
+        Ok(stats) => CaseOutcome {
+            passes,
+            entries_completed: stats.entries_completed,
+            entries_aborted: stats.entries_aborted,
+            uops_removed: stats.uops_removed,
+            failure: None,
+        },
+        Err(first_error) => {
+            let reproduces = |f: &Frame| check_frame(f, &passes, &entry_seeds).is_err();
+            let minimal = if cfg.shrink {
+                shrink(&frame, reproduces)
+            } else {
+                frame
+            };
+            // Re-derive the error on the shrunk frame (it may differ in
+            // detail from the original failure, but it is the one the
+            // corpus file will reproduce).
+            let error = check_frame(&minimal, &passes, &entry_seeds)
+                .err()
+                .unwrap_or(first_error);
+            CaseOutcome {
+                passes: passes.clone(),
+                entries_completed: 0,
+                entries_aborted: 0,
+                uops_removed: 0,
+                failure: Some(Counterexample {
+                    case: CorpusCase {
+                        note: error.to_string(),
+                        seed: cfg.seed,
+                        case_index: index,
+                        passes,
+                        entry_seeds,
+                        frame: minimal,
+                    },
+                    error,
+                }),
+            }
+        }
+    }
+}
+
+/// Runs a batch of `cfg.cases` random cases across `cfg.jobs` workers.
+///
+/// The report is bit-identical for any job count: cases derive all
+/// randomness from `(seed, index)` and results are folded in index order.
+pub fn run_check(cfg: &CheckConfig) -> CheckReport {
+    let indices: Vec<u64> = (0..cfg.cases).collect();
+    let outcomes = par_map(cfg.jobs, &indices, |&i| run_case(cfg, i));
+
+    let mut report = CheckReport {
+        cases: cfg.cases,
+        sequences: BTreeSet::new(),
+        permutations: 0,
+        entries_completed: 0,
+        entries_aborted: 0,
+        uops_removed: 0,
+        failures: Vec::new(),
+    };
+    let canonical = PassId::ALL.to_vec();
+    for o in outcomes {
+        if report.sequences.insert(o.passes.clone()) && o.passes != canonical {
+            report.permutations += 1;
+        }
+        report.entries_completed += o.entries_completed;
+        report.entries_aborted += o.entries_aborted;
+        report.uops_removed += o.uops_removed;
+        if let Some(f) = o.failure {
+            report.failures.push(f);
+        }
+    }
+    report
+}
+
+/// Result of probing the oracle's sensitivity to one fault kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultProbe {
+    /// The mutation kind planted.
+    pub kind: FaultKind,
+    /// Frames the mutation was applied to.
+    pub injected: u64,
+    /// Injected frames the differential oracle flagged.
+    pub detected: u64,
+}
+
+/// Plants every [`FaultKind`] into optimized frames and measures how many
+/// injections the differential oracle catches. Each kind is attempted on
+/// up to `attempts` generated frames; detection of a single injection per
+/// kind is the pass criterion (some individual injections are legitimately
+/// unobservable — e.g. perturbing a dead immediate — so per-injection
+/// detection is not required).
+pub fn probe_fault_sensitivity(seed: u64, attempts: u32) -> Vec<FaultProbe> {
+    FaultKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut rng = SmallRng::split_stream(seed, kind as u64);
+            let mut probe = FaultProbe {
+                kind,
+                injected: 0,
+                detected: 0,
+            };
+            for _ in 0..attempts {
+                let frame = arb_frame(&mut rng);
+                let Ok(mut optimized) = apply_passes(&frame, &kind.passes()) else {
+                    continue;
+                };
+                if !inject(&mut optimized, kind, &mut rng) {
+                    continue;
+                }
+                probe.injected += 1;
+                let original = raw_frame(&frame);
+                let caught = (0..8).any(|k| {
+                    let entry = entry_state(rng.next_u32().wrapping_add(k));
+                    verify_differential(&original, &optimized, &entry).is_err()
+                });
+                if caught {
+                    probe.detected += 1;
+                }
+            }
+            probe
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_batch_is_clean_and_deterministic() {
+        let cfg = CheckConfig {
+            cases: 60,
+            seed: 7,
+            jobs: 1,
+            ..CheckConfig::default()
+        };
+        let a = run_check(&cfg);
+        assert!(a.ok(), "failures: {:?}", a.failures);
+        assert!(a.permutations > 0);
+        assert!(a.uops_removed > 0, "passes never fired");
+        let b = run_check(&cfg);
+        assert_eq!(a, b, "same seed, same report");
+    }
+
+    #[test]
+    fn job_count_does_not_change_the_report() {
+        let mut cfg = CheckConfig {
+            cases: 40,
+            seed: 99,
+            jobs: 1,
+            ..CheckConfig::default()
+        };
+        let serial = run_check(&cfg);
+        cfg.jobs = 8;
+        let parallel = run_check(&cfg);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_fault_kind_is_detected() {
+        for probe in probe_fault_sensitivity(0xF00D, 120) {
+            assert!(
+                probe.injected > 0,
+                "{}: no injection site in 120 frames",
+                probe.kind.name()
+            );
+            assert!(
+                probe.detected > 0,
+                "{}: oracle caught none of {} injections",
+                probe.kind.name(),
+                probe.injected
+            );
+        }
+    }
+
+    #[test]
+    fn pass_selection_parses() {
+        assert_eq!(PassSelection::parse("all"), Ok(PassSelection::Mixed));
+        assert_eq!(
+            PassSelection::parse("pipeline"),
+            Ok(PassSelection::Pipeline)
+        );
+        assert_eq!(
+            PassSelection::parse("NOP,dce"),
+            Ok(PassSelection::Sequence(vec![
+                PassId::NopRemoval,
+                PassId::Dce
+            ]))
+        );
+        assert!(PassSelection::parse("NOP,WAT").is_err());
+        assert!(PassSelection::parse("").is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! The differential oracle: a pass sequence applied to a generated frame
+//! must preserve its architectural semantics from every entry state.
+//!
+//! Three layers of checking, applied in order:
+//!
+//! 1. **Structural**: [`OptFrame::validate`] must hold after every pass —
+//!    a pass that corrupts use counts or dataflow references is a bug even
+//!    if the frame still happens to execute correctly.
+//! 2. **Differential**: the optimized frame and the raw (unoptimized,
+//!    compacted) frame must agree — registers, flags, store-footprint
+//!    memory, and completion outcome — from every probed entry state
+//!    ([`replay_verify::verify_differential`]).
+//! 3. **Attribution**: on a differential failure, the failing pass is
+//!    located by re-running prefixes of the sequence, so the resulting
+//!    [`VerifyError`] names the pass as well as the uop.
+
+use crate::gen::entry_state;
+use replay_core::{run_pass, AliasProfile, OptFrame, OptStats, PassCtx, PassId};
+use replay_frame::Frame;
+use replay_uop::MachineState;
+use replay_verify::{verify_differential, VerifyError};
+use std::fmt;
+
+/// A check failure: either a structural invariant broken by a pass or a
+/// semantic divergence caught by the differential oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// [`OptFrame::validate`] failed after running the named pass.
+    Invariant {
+        /// The pass whose output violated the invariant.
+        pass: PassId,
+        /// The violation, as reported by `validate`.
+        detail: String,
+    },
+    /// The optimized frame diverged from the original; the error carries
+    /// the failing uop and (after attribution) the pass name.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Invariant { pass, detail } => {
+                write!(f, "invariant violated after pass {pass}: {detail}")
+            }
+            CheckError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// The raw (unoptimized) form of a frame: remapped and compacted, ready
+/// for execution. This is the oracle's reference side.
+pub fn raw_frame(frame: &Frame) -> OptFrame {
+    let mut f = OptFrame::from_frame(frame);
+    f.compact();
+    f
+}
+
+/// Applies a pass sequence to a frame, validating the structure after
+/// every pass, and returns the compacted result.
+///
+/// # Errors
+///
+/// Returns [`CheckError::Invariant`] naming the offending pass.
+pub fn apply_passes(frame: &Frame, passes: &[PassId]) -> Result<OptFrame, CheckError> {
+    let profile = AliasProfile::empty();
+    let ctx = PassCtx::full(&profile);
+    let mut stats = OptStats::default();
+    let mut f = OptFrame::from_frame(frame);
+    for &pass in passes {
+        run_pass(&mut f, pass, &ctx, &mut stats);
+        if let Err(detail) = f.validate() {
+            return Err(CheckError::Invariant { pass, detail });
+        }
+    }
+    f.compact();
+    if let Err(detail) = f.validate() {
+        return Err(CheckError::Invariant {
+            pass: *passes.last().unwrap_or(&PassId::Dce),
+            detail: format!("after compaction: {detail}"),
+        });
+    }
+    Ok(f)
+}
+
+/// Statistics from one successfully checked case.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseStats {
+    /// Entry states from which both forms completed and agreed.
+    pub entries_completed: u64,
+    /// Entry states from which both forms rolled back (assertion fired /
+    /// aborted in both — vacuously equivalent).
+    pub entries_aborted: u64,
+    /// Uops removed by the sequence.
+    pub uops_removed: u64,
+}
+
+/// Checks one frame under one pass sequence from the given entry seeds.
+///
+/// On a differential failure the error is re-attributed to the first
+/// failing prefix of the sequence (so `error.pass` names the pass) before
+/// being returned.
+///
+/// # Errors
+///
+/// The first failure found, structural or differential.
+pub fn check_frame(
+    frame: &Frame,
+    passes: &[PassId],
+    entry_seeds: &[u32],
+) -> Result<CaseStats, CheckError> {
+    let original = raw_frame(frame);
+    let optimized = apply_passes(frame, passes)?;
+
+    let mut stats = CaseStats {
+        uops_removed: (original.uop_count() - optimized.uop_count()) as u64,
+        ..CaseStats::default()
+    };
+    for &seed in entry_seeds {
+        let entry = entry_state(seed);
+        match verify_differential(&original, &optimized, &entry) {
+            Ok(()) => {
+                if completes(&original, &entry) {
+                    stats.entries_completed += 1;
+                } else {
+                    stats.entries_aborted += 1;
+                }
+            }
+            Err(e) => {
+                let e = attribute(frame, passes, seed, e);
+                return Err(CheckError::Verify(e));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// True if the frame completes (commits) from `entry`.
+fn completes(f: &OptFrame, entry: &MachineState) -> bool {
+    let mut m = entry.clone();
+    matches!(
+        replay_core::exec_frame(f, &mut m),
+        replay_core::FrameOutcome::Completed { .. }
+    )
+}
+
+/// Locates the pass that introduced a differential failure by re-running
+/// prefixes of the sequence, and attaches its name to the error. Falls
+/// back to the full sequence's error unchanged if no prefix reproduces it
+/// (which would indicate order sensitivity in the check itself).
+fn attribute(
+    frame: &Frame,
+    passes: &[PassId],
+    entry_seed: u32,
+    full_error: VerifyError,
+) -> VerifyError {
+    let original = raw_frame(frame);
+    let entry = entry_state(entry_seed);
+    for len in 1..=passes.len() {
+        match apply_passes(frame, &passes[..len]) {
+            Ok(prefix_opt) => {
+                if verify_differential(&original, &prefix_opt, &entry).is_err() {
+                    return full_error.in_pass(passes[len - 1].name());
+                }
+            }
+            // A structural failure mid-prefix: blame that pass.
+            Err(CheckError::Invariant { pass, .. }) => {
+                return full_error.in_pass(pass.name());
+            }
+            Err(CheckError::Verify(_)) => unreachable!("apply_passes returns Invariant only"),
+        }
+    }
+    full_error
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::arb_frame;
+    use replay_rng::SmallRng;
+
+    #[test]
+    fn canonical_pipeline_is_sound_on_random_frames() {
+        let mut rng = SmallRng::seed_from_u64(0xABCD);
+        for i in 0..100u32 {
+            let frame = arb_frame(&mut rng);
+            let seeds = [i, i ^ 0xffff, i.wrapping_mul(2654435761)];
+            check_frame(&frame, &PassId::ALL, &seeds)
+                .unwrap_or_else(|e| panic!("case {i}: {e}\n{}", raw_frame(&frame).listing()));
+        }
+    }
+
+    #[test]
+    fn single_passes_are_sound_on_random_frames() {
+        let mut rng = SmallRng::seed_from_u64(0xEF01);
+        for i in 0..70u32 {
+            let frame = arb_frame(&mut rng);
+            let pass = PassId::ALL[i as usize % 7];
+            check_frame(&frame, &[pass], &[i, !i]).unwrap_or_else(|e| panic!("{pass}: {e}"));
+        }
+    }
+
+    #[test]
+    fn reversed_sequence_is_sound() {
+        let mut rev = PassId::ALL;
+        rev.reverse();
+        let mut rng = SmallRng::seed_from_u64(0x7777);
+        for i in 0..50u32 {
+            let frame = arb_frame(&mut rng);
+            check_frame(&frame, &rev, &[i]).unwrap_or_else(|e| panic!("case {i}: {e}"));
+        }
+    }
+}

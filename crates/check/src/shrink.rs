@@ -1,0 +1,149 @@
+//! Counterexample shrinking: reduce a failing frame to a minimal
+//! reproducing form before it is reported or persisted to the corpus.
+//!
+//! The strategy is delta-debugging-flavored greedy reduction:
+//!
+//! 1. remove *chunks* of uops, halving the chunk size down to one, keeping
+//!    any removal after which the case still fails;
+//! 2. then simplify surviving uops (zero immediates).
+//!
+//! Every candidate is re-checked through the caller-supplied predicate, so
+//! the shrinker is oblivious to what "fails" means — the harness passes a
+//! closure that re-runs the exact pass sequence and entry states of the
+//! original failure.
+
+use replay_frame::Frame;
+
+/// Removes the uops whose indices are in `[start, start + len)`, fixing up
+/// expectations and block starts. Returns `None` if the removal would
+/// empty the frame.
+fn without_range(frame: &Frame, start: usize, len: usize) -> Option<Frame> {
+    let end = (start + len).min(frame.uops.len());
+    if end <= start || frame.uops.len() - (end - start) == 0 {
+        return None;
+    }
+    let removed = end - start;
+    let mut f = frame.clone();
+    f.uops.drain(start..end);
+    // Expectations inside the removed range disappear; later ones shift.
+    f.expectations
+        .retain(|e| e.uop_index < start || e.uop_index >= end);
+    for e in &mut f.expectations {
+        if e.uop_index >= end {
+            e.uop_index -= removed;
+        }
+    }
+    // Block boundaries inside the range collapse onto its start.
+    let n = f.uops.len();
+    for b in &mut f.block_starts {
+        if *b >= end {
+            *b -= removed;
+        } else if *b > start {
+            *b = start;
+        }
+    }
+    f.block_starts.dedup();
+    f.block_starts.retain(|&b| b < n);
+    if f.block_starts.first() != Some(&0) {
+        f.block_starts.insert(0, 0);
+    }
+    f.x86_addrs.truncate(n);
+    f.orig_uop_count = n;
+    Some(f)
+}
+
+/// Shrinks `frame` to a (locally) minimal frame for which `still_fails`
+/// holds. The input frame must itself satisfy the predicate; the result
+/// always does.
+pub fn shrink<F>(frame: &Frame, still_fails: F) -> Frame
+where
+    F: Fn(&Frame) -> bool,
+{
+    debug_assert!(still_fails(frame), "shrink requires a failing input");
+    let mut best = frame.clone();
+
+    // Phase 1: chunked removal, halving chunk sizes.
+    let mut chunk = (best.uops.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.uops.len() {
+            if let Some(candidate) = without_range(&best, start, chunk) {
+                if still_fails(&candidate) {
+                    best = candidate;
+                    progressed = true;
+                    // Re-test the same start: the next chunk shifted into it.
+                    continue;
+                }
+            }
+            start += chunk;
+        }
+        if chunk == 1 && !progressed {
+            break;
+        }
+        if !progressed {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // Phase 2: zero immediates where the case still reproduces.
+    for i in 0..best.uops.len() {
+        if best.uops[i].imm != 0 {
+            let mut candidate = best.clone();
+            candidate.uops[i].imm = 0;
+            if still_fails(&candidate) {
+                best = candidate;
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::arb_frame;
+    use replay_core::OptFrame;
+    use replay_rng::SmallRng;
+    use replay_uop::{ArchReg, Opcode};
+
+    #[test]
+    fn shrinks_to_the_relevant_core() {
+        // Predicate: the frame still contains a store to ESP-8. The
+        // shrinker should strip (nearly) everything else.
+        let mut rng = SmallRng::seed_from_u64(0x51);
+        for _ in 0..20 {
+            let mut frame = arb_frame(&mut rng);
+            frame
+                .uops
+                .push(replay_uop::Uop::store(ArchReg::Esp, -8, ArchReg::Eax));
+            frame.orig_uop_count = frame.uops.len();
+            frame.x86_addrs = (0..frame.uops.len() as u32).collect();
+            let has_marker = |f: &Frame| {
+                f.uops
+                    .iter()
+                    .any(|u| u.op == Opcode::Store && u.imm == -8 && u.src_a == Some(ArchReg::Esp))
+            };
+            assert!(has_marker(&frame));
+            let small = shrink(&frame, has_marker);
+            assert!(has_marker(&small));
+            assert!(small.uops.len() <= 2, "got {} uops", small.uops.len());
+        }
+    }
+
+    #[test]
+    fn shrunk_frames_stay_structurally_valid() {
+        let mut rng = SmallRng::seed_from_u64(0x52);
+        for _ in 0..30 {
+            let frame = arb_frame(&mut rng);
+            // Predicate: frame still has >= 2 uops (forces heavy removal
+            // while exercising the fix-up paths).
+            let small = shrink(&frame, |f| f.uops.len() >= 2);
+            assert_eq!(small.uops.len(), 2);
+            OptFrame::from_frame(&small)
+                .validate()
+                .expect("shrunk frame remaps cleanly");
+        }
+    }
+}

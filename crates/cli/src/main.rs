@@ -8,6 +8,8 @@
 //!                                           simulate one configuration
 //! replay compare <workload|FILE> [-n N]     all four configurations side by side
 //! replay frames <workload> [-n N] [--top K] inspect the most-optimized frames
+//! replay check [--cases N] [--seed S] [--passes all|pipeline|<list>]
+//!                                           property-check the optimizer
 //! ```
 
 use replay_core::{optimize, AliasProfile, OptConfig};
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args[1..]),
         Some("bench-parallel") => cmd_bench_parallel(&args[1..]),
         Some("frames") => cmd_frames(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -65,6 +68,14 @@ USAGE:
   replay frames <workload> [-n N] [--top K]  show the most-optimized frames
   replay info <workload|FILE> [-n N]         trace statistics (mix, branches, footprint)
   replay disasm <workload> [-s SEG]          disassemble a workload's program image
+  replay check [--cases N] [--seed S] [--passes all|pipeline|<CSV>]
+               [--corpus DIR] [--entries K] [--jobs N] [--no-shrink]
+                                             differential property check of the
+                                             optimizer; replays tests/corpus/ and
+                                             persists shrunk counterexamples there
+  replay check --faults [--cases N] [--seed S]
+                                             plant known bug species and verify
+                                             the oracle detects every kind
 
 Parallelism: --jobs/--threads N (or the REPLAY_JOBS environment variable)
 sets the worker count; the default is the machine's available parallelism
@@ -74,7 +85,9 @@ and 1 forces the legacy serial path. Results are identical at any count."
 
 /// Long flags that take a value (`--jobs 8`); every other `--flag` is
 /// boolean. `--flag=value` works for any flag.
-const VALUE_LONG_FLAGS: [&str; 4] = ["jobs", "threads", "top", "out"];
+const VALUE_LONG_FLAGS: [&str; 9] = [
+    "jobs", "threads", "top", "out", "cases", "seed", "passes", "corpus", "entries",
+];
 
 /// Parses `-x value` style options; returns (positional, lookup).
 struct Opts<'a> {
@@ -416,6 +429,112 @@ fn cmd_bench_parallel(args: &[String]) -> Result<(), String> {
     std::fs::write(out, json).map_err(|e| format!("writing {out:?}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    use replay_check::{probe_fault_sensitivity, run_check, to_text, CheckConfig, PassSelection};
+
+    let opts = Opts::parse(args);
+    if !opts.positional.is_empty() {
+        return Err("usage: replay check [--cases N] [--seed S] [--passes P] [--faults]".into());
+    }
+    let cases = match opts.get("cases") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("bad --cases value {v:?}"))?,
+        None => 1000,
+    };
+    let seed = match opts.get("seed") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("bad --seed value {v:?}"))?,
+        None => 42,
+    };
+
+    if opts.has("faults") {
+        // Sensitivity mode: plant every known bug species into optimized
+        // frames and require that the differential oracle catches each one.
+        let attempts = cases.min(10_000) as u32;
+        println!(
+            "planting faults into optimized frames ({attempts} attempts per kind, seed {seed})"
+        );
+        println!("{:14} {:>9} {:>9}", "fault", "injected", "detected");
+        let mut missed = Vec::new();
+        for probe in probe_fault_sensitivity(seed, attempts) {
+            println!(
+                "{:14} {:>9} {:>9}",
+                probe.kind.name(),
+                probe.injected,
+                probe.detected
+            );
+            if probe.injected == 0 || probe.detected == 0 {
+                missed.push(probe.kind.name());
+            }
+        }
+        return if missed.is_empty() {
+            println!("every fault kind detected");
+            Ok(())
+        } else {
+            Err(format!(
+                "oracle blind to fault kinds: {}",
+                missed.join(", ")
+            ))
+        };
+    }
+
+    let passes = PassSelection::parse(opts.get("passes").unwrap_or("all"))?;
+    let corpus = std::path::PathBuf::from(opts.get("corpus").unwrap_or("tests/corpus"));
+    let entries_per_case = opts.count("entries", 4)? as u32;
+    let jobs = opts.jobs()?;
+
+    // Replay the persisted corpus first: previously-found bugs must stay
+    // fixed before we go looking for new ones.
+    match replay_check::replay_dir(&corpus) {
+        Ok(0) => println!("corpus {}: empty", corpus.display()),
+        Ok(n) => println!("corpus {}: {n} case(s) replayed clean", corpus.display()),
+        Err((path, e)) => return Err(format!("corpus case {}: {e}", path.display())),
+    }
+
+    let cfg = CheckConfig {
+        cases,
+        seed,
+        passes,
+        jobs,
+        entries_per_case: entries_per_case.max(1),
+        shrink: !opts.has("no-shrink"),
+    };
+    let t = Instant::now();
+    let report = run_check(&cfg);
+    println!(
+        "{report} (seed {seed}, {jobs} worker{}, {:.2}s)",
+        if jobs == 1 { "" } else { "s" },
+        t.elapsed().as_secs_f64()
+    );
+    if report.ok() {
+        return Ok(());
+    }
+    // Persist every shrunk counterexample so the corpus replay above
+    // guards the bug from now on.
+    std::fs::create_dir_all(&corpus).map_err(|e| format!("creating {}: {e}", corpus.display()))?;
+    for cex in &report.failures {
+        let path = corpus.join(format!(
+            "seed{}-case{}.case",
+            cex.case.seed, cex.case.case_index
+        ));
+        std::fs::write(&path, to_text(&cex.case))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "  {} ({} uops): {}",
+            path.display(),
+            cex.case.frame.uop_count(),
+            cex.error
+        );
+    }
+    Err(format!(
+        "{} counterexample(s) written to {}",
+        report.failures.len(),
+        corpus.display()
+    ))
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {

@@ -68,6 +68,7 @@ mod exec;
 mod frame_ir;
 mod ir;
 pub mod passes;
+mod passid;
 mod pipeline;
 mod schedule;
 mod stats;
@@ -77,6 +78,7 @@ pub use datapath::{DatapathConfig, OptimizerDatapath};
 pub use exec::{exec_frame, probe_frame, ExecScratch, FrameOutcome, MemTransaction, ProbeOutcome};
 pub use frame_ir::OptFrame;
 pub use ir::{FlagsSrc, Operand, OptUop, Slot, Src};
+pub use passid::{run_pass, PassCtx, PassId};
 pub use pipeline::{optimize, OptConfig, OptScope};
 pub use schedule::reschedule;
 pub use stats::OptStats;

@@ -887,6 +887,85 @@ mod tests {
     }
 
     #[test]
+    fn cse_alu_keeps_duplicate_with_consumed_flags() {
+        // Two identical Adds; the second one's flags feed an assert, so
+        // CSE redirects its *value* consumers to the first but DCE must
+        // keep it as a flags writer. A trailing Cmp takes over flags-out,
+        // leaving the assert as the only thing pinning the duplicate.
+        let mut f = OptFrame::from_frame(&mk_frame(vec![
+            Uop::alu(Opcode::Add, ArchReg::Eax, ArchReg::Esi, ArchReg::Edi),
+            Uop::alu(Opcode::Add, ArchReg::Ebx, ArchReg::Esi, ArchReg::Edi),
+            Uop::assert_cc(Cond::Eq),
+            Uop::store(ArchReg::Esp, 0, ArchReg::Ebx),
+            Uop::cmp_imm(ArchReg::Esi, 0),
+        ]));
+        assert_eq!(cse_alu(&mut f, OptScope::Frame), 1);
+        // The store's data now comes from the first Add...
+        assert_eq!(f.slot(3).src_b, Some(Src::Slot(0)));
+        // ...but the assert still reads the duplicate's flags.
+        assert_eq!(f.slot(2).flags_src, Some(FlagsSrc::Slot(1)));
+        assert_eq!(dce(&mut f, OptScope::Frame), 0);
+        assert!(f.slot(1).valid, "live flags writer must survive CSE + DCE");
+    }
+
+    #[test]
+    fn cse_alu_keeps_flags_out_duplicate() {
+        // The duplicate is the frame's final flags writer: even with every
+        // value use redirected, the exit flags pin it.
+        let mut f = OptFrame::from_frame(&mk_frame(vec![
+            Uop::alu(Opcode::Add, ArchReg::Eax, ArchReg::Esi, ArchReg::Edi),
+            Uop::alu(Opcode::Add, ArchReg::Ebx, ArchReg::Esi, ArchReg::Edi),
+        ]));
+        assert_eq!(cse_alu(&mut f, OptScope::Frame), 1);
+        assert_eq!(
+            dce(&mut f, OptScope::Frame),
+            0,
+            "flags-out keeps the duplicate"
+        );
+        assert!(f.slot(1).valid);
+    }
+
+    #[test]
+    fn cse_alu_skips_flags_only_ops() {
+        // Cmp computes no value: two identical Cmps are not CSE candidates
+        // (each is an independent flags definition for its own assert).
+        let mut f = OptFrame::from_frame(&mk_frame(vec![
+            Uop::cmp_imm(ArchReg::Eax, 5),
+            Uop::assert_cc(Cond::Eq),
+            Uop::cmp_imm(ArchReg::Eax, 5),
+            Uop::assert_cc(Cond::Eq),
+        ]));
+        assert_eq!(cse_alu(&mut f, OptScope::Frame), 0);
+        assert!(f.slot(0).valid && f.slot(2).valid);
+    }
+
+    #[test]
+    fn store_forward_rewrites_fused_assert_operand() {
+        // [ESP-4] <- EBP; ECX <- [ESP-4]; assert-cmp ECX == 7. Forwarding
+        // routes the store data into the assert's operand and kills the
+        // load with no flag damage (loads define no flags).
+        let mut f = OptFrame::from_frame(&mk_frame(vec![
+            Uop::store(ArchReg::Esp, -4, ArchReg::Ebp),
+            Uop::load(ArchReg::Ecx, ArchReg::Esp, -4),
+            Uop::assert_cmp(Cond::Eq, ArchReg::Ecx, None, 7),
+            Uop::cmp_imm(ArchReg::Esi, 0),
+        ]));
+        let r = memory_opt(
+            &mut f,
+            OptScope::Frame,
+            &AliasProfile::empty(),
+            true,
+            true,
+            true,
+        );
+        assert_eq!(r.store_forwards, 1);
+        assert!(!f.slot(1).valid);
+        assert_eq!(f.slot(2).src_a, Some(Src::LiveIn(ArchReg::Ebp)));
+        // Flags-out is still the trailing Cmp; nothing points at the load.
+        assert_eq!(dce(&mut f, OptScope::Frame), 0);
+    }
+
+    #[test]
     fn store_forwarding_basic() {
         // [ESP-4] <- EBP ... EBX <- [ESP-4]  =>  load eliminated.
         let mut f = OptFrame::from_frame(&mk_frame(vec![

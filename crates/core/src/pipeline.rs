@@ -1,6 +1,6 @@
 //! The optimization pipeline: configuration and the pass driver.
 
-use crate::passes;
+use crate::passid::{run_pass, PassCtx, PassId};
 use crate::{AliasProfile, OptFrame, OptStats};
 use replay_frame::Frame;
 
@@ -125,6 +125,32 @@ impl OptConfig {
             ..OptConfig::default()
         }
     }
+
+    /// True if the configuration enables the given pass. Dead-code
+    /// elimination is always on (it is the collector every other pass
+    /// relies on); the memory pass runs if either of its halves does.
+    pub fn enables(&self, pass: PassId) -> bool {
+        match pass {
+            PassId::NopRemoval => self.nop_removal,
+            PassId::ConstProp => self.const_prop,
+            PassId::Reassociate => self.reassoc,
+            PassId::AssertFuse => self.assert_fuse,
+            PassId::MemoryOpt => self.store_fwd || self.cse,
+            PassId::CseAlu => self.cse,
+            PassId::Dce => true,
+        }
+    }
+
+    /// The per-pass context this configuration induces over a profile.
+    pub fn pass_ctx<'a>(&self, profile: &'a AliasProfile) -> PassCtx<'a> {
+        PassCtx {
+            scope: self.scope,
+            profile,
+            speculative: self.speculative_memory,
+            store_fwd: self.store_fwd,
+            redundant_loads: self.cse,
+        }
+    }
 }
 
 /// Optimizes a frame: remap → pass pipeline → cleanup/compaction.
@@ -168,51 +194,14 @@ pub fn optimize(frame: &Frame, profile: &AliasProfile, cfg: &OptConfig) -> (OptF
         ..OptStats::default()
     };
 
+    let ctx = cfg.pass_ctx(profile);
     for _ in 0..cfg.max_iterations.max(1) {
         let mut changed = 0u64;
-        if cfg.nop_removal {
-            let n = passes::nop_removal(&mut f);
-            stats.nop_removed += n;
-            changed += n;
+        for pass in PassId::ALL {
+            if cfg.enables(pass) {
+                changed += run_pass(&mut f, pass, &ctx, &mut stats);
+            }
         }
-        if cfg.const_prop {
-            let r = passes::const_prop(&mut f, cfg.scope);
-            stats.const_folded += r.folded;
-            stats.asserts_removed += r.asserts_removed;
-            changed += r.folded + r.operands_folded + r.asserts_removed;
-        }
-        if cfg.reassoc {
-            let n = passes::reassociate(&mut f, cfg.scope);
-            stats.reassociations += n;
-            changed += n;
-        }
-        if cfg.assert_fuse {
-            let n = passes::assert_fuse(&mut f, cfg.scope);
-            stats.assert_fusions += n;
-            changed += n;
-        }
-        if cfg.store_fwd || cfg.cse {
-            let r = passes::memory_opt(
-                &mut f,
-                cfg.scope,
-                profile,
-                cfg.speculative_memory,
-                cfg.store_fwd,
-                cfg.cse,
-            );
-            stats.store_forwards += r.store_forwards;
-            stats.cse_loads += r.redundant_loads;
-            stats.speculative_load_removals += r.speculative;
-            changed += r.store_forwards + r.redundant_loads;
-        }
-        if cfg.cse {
-            let n = passes::cse_alu(&mut f, cfg.scope);
-            stats.cse_alu += n;
-            changed += n;
-        }
-        let n = passes::dce(&mut f, cfg.scope);
-        stats.dce_removed += n;
-        changed += n;
         stats.iterations += 1;
         if changed == 0 {
             break;

@@ -38,7 +38,7 @@ pub struct ControlExpectation {
 /// have become `AssertCmp` uops against their dominant target, and the frame
 /// commits atomically (all or nothing). The final uop may be an ordinary
 /// branch — that branch is the frame's unique exit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Frame identity.
     pub id: FrameId,

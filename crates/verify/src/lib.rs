@@ -33,5 +33,6 @@ mod verifier;
 
 pub use maps::MemoryMaps;
 pub use verifier::{
-    verify_against_records, verify_differential, Verifier, VerifyError, VerifyStats,
+    verify_against_records, verify_differential, Verifier, VerifyError, VerifyErrorKind,
+    VerifyStats,
 };

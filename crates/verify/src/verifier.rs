@@ -1,14 +1,76 @@
 //! Frame verification.
 
 use crate::MemoryMaps;
-use replay_core::{exec_frame, FrameOutcome, OptFrame};
+use replay_core::{exec_frame, FlagsSrc, FrameOutcome, MemTransaction, OptFrame, Src};
 use replay_trace::TraceRecord;
 use replay_uop::{ArchReg, Flags, MachineState};
 use std::fmt;
 
-/// A verification failure.
+/// A verification failure: what went wrong, plus enough context to act on
+/// a shrunk counterexample in one read — the uop (in the optimized,
+/// compacted frame) the discrepancy traces back to, and the optimization
+/// pass that introduced it when the caller knows it.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum VerifyError {
+pub struct VerifyError {
+    /// The discrepancy itself.
+    pub kind: VerifyErrorKind,
+    /// Index of the uop in the optimized frame the failure traces back to:
+    /// the live-out producer of a mismatched register, the last store to a
+    /// mismatched address, the assertion that fired. `None` when no single
+    /// uop can be blamed (e.g. a pass-through live-out).
+    pub uop_index: Option<usize>,
+    /// Short name of the pass whose output first failed the check, when
+    /// the caller bisected it (the `replay-check` harness does).
+    pub pass: Option<String>,
+}
+
+impl VerifyError {
+    /// Wraps a discrepancy with no located uop or pass.
+    pub fn new(kind: VerifyErrorKind) -> VerifyError {
+        VerifyError {
+            kind,
+            uop_index: None,
+            pass: None,
+        }
+    }
+
+    /// Attaches the offending uop index.
+    pub fn at_uop(mut self, index: usize) -> VerifyError {
+        self.uop_index = Some(index);
+        self
+    }
+
+    /// Attaches the name of the pass that introduced the failure.
+    pub fn in_pass(mut self, pass: impl Into<String>) -> VerifyError {
+        self.pass = Some(pass.into());
+        self
+    }
+}
+
+impl From<VerifyErrorKind> for VerifyError {
+    fn from(kind: VerifyErrorKind) -> VerifyError {
+        VerifyError::new(kind)
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if let Some(i) = self.uop_index {
+            write!(f, " [uop {i}]")?;
+        }
+        if let Some(p) = &self.pass {
+            write!(f, " [pass {p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The kinds of verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyErrorKind {
     /// A general-purpose register differs at the frame boundary.
     RegisterMismatch {
         /// The register.
@@ -56,27 +118,27 @@ pub enum VerifyError {
     },
 }
 
-impl fmt::Display for VerifyError {
+impl fmt::Display for VerifyErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerifyError::RegisterMismatch { reg, expected, got } => {
+            VerifyErrorKind::RegisterMismatch { reg, expected, got } => {
                 write!(f, "register {reg}: expected {expected:#x}, got {got:#x}")
             }
-            VerifyError::FlagsMismatch { expected, got } => {
+            VerifyErrorKind::FlagsMismatch { expected, got } => {
                 write!(f, "flags: expected {expected}, got {got}")
             }
-            VerifyError::MemoryMismatch {
+            VerifyErrorKind::MemoryMismatch {
                 addr,
                 expected,
                 got,
             } => write!(f, "memory {addr:#x}: expected {expected:#x}, got {got:#x}"),
-            VerifyError::LoadOutsideInitialMap { addr } => {
+            VerifyErrorKind::LoadOutsideInitialMap { addr } => {
                 write!(f, "load from {addr:#x} outside the initial memory map")
             }
-            VerifyError::UnexpectedOutcome { outcome } => {
+            VerifyErrorKind::UnexpectedOutcome { outcome } => {
                 write!(f, "frame did not complete: {outcome}")
             }
-            VerifyError::OutcomeMismatch {
+            VerifyErrorKind::OutcomeMismatch {
                 original,
                 optimized,
             } => write!(
@@ -87,7 +149,49 @@ impl fmt::Display for VerifyError {
     }
 }
 
-impl std::error::Error for VerifyError {}
+/// The uop index the failure of register `reg` traces back to: the slot
+/// producing the register's live-out binding, if the binding is in-frame.
+fn blame_reg(frame: &OptFrame, reg: ArchReg) -> Option<usize> {
+    frame.live_out().iter().find_map(|&(r, src)| match src {
+        Src::Slot(s) if r == reg => Some(s as usize),
+        _ => None,
+    })
+}
+
+/// The uop index a flags mismatch traces back to (the flags-out producer).
+fn blame_flags(frame: &OptFrame) -> Option<usize> {
+    match frame.flags_out() {
+        FlagsSrc::Slot(s) => Some(s as usize),
+        FlagsSrc::LiveIn => None,
+    }
+}
+
+/// The uop index of the last store the frame performed to `addr`.
+fn blame_store(transactions: &[MemTransaction], addr: u32) -> Option<usize> {
+    transactions
+        .iter()
+        .rev()
+        .find(|t| t.is_store && t.addr == addr)
+        .map(|t| t.uop_index)
+}
+
+/// The uop index a non-completing outcome points at, if any.
+fn outcome_uop(outcome: &FrameOutcome) -> Option<usize> {
+    match outcome {
+        FrameOutcome::Completed { .. } => None,
+        FrameOutcome::AssertFired { uop_index }
+        | FrameOutcome::UnsafeConflict { uop_index, .. }
+        | FrameOutcome::Faulted { uop_index } => Some(*uop_index),
+    }
+}
+
+/// Attaches `uop_index` to `err` when one is known.
+fn maybe_at_uop(err: VerifyError, uop_index: Option<usize>) -> VerifyError {
+    match uop_index {
+        Some(i) => err.at_uop(i),
+        None => err,
+    }
+}
 
 /// Applies a span of trace records to a machine (the reference execution).
 fn apply_records(m: &mut MachineState, records: &[TraceRecord]) {
@@ -134,16 +238,23 @@ pub fn verify_against_records(
     let transactions = match outcome {
         FrameOutcome::Completed { transactions } => transactions,
         other => {
-            return Err(VerifyError::UnexpectedOutcome {
-                outcome: format!("{other:?}"),
-            })
+            let at = outcome_uop(&other);
+            return Err(maybe_at_uop(
+                VerifyError::new(VerifyErrorKind::UnexpectedOutcome {
+                    outcome: format!("{other:?}"),
+                }),
+                at,
+            ));
         }
     };
 
     // (1) Loads are a subset of the original loads' locations.
     for t in transactions.iter().filter(|t| !t.is_store) {
         if maps.initial(t.addr).is_none() {
-            return Err(VerifyError::LoadOutsideInitialMap { addr: t.addr });
+            return Err(
+                VerifyError::new(VerifyErrorKind::LoadOutsideInitialMap { addr: t.addr })
+                    .at_uop(t.uop_index),
+            );
         }
     }
 
@@ -156,18 +267,24 @@ pub fn verify_against_records(
         let expected = reference.reg(r);
         let got = frame_machine.reg(r);
         if expected != got {
-            return Err(VerifyError::RegisterMismatch {
-                reg: r,
-                expected,
-                got,
-            });
+            return Err(maybe_at_uop(
+                VerifyError::new(VerifyErrorKind::RegisterMismatch {
+                    reg: r,
+                    expected,
+                    got,
+                }),
+                blame_reg(frame, r),
+            ));
         }
     }
     if reference.flags() != frame_machine.flags() {
-        return Err(VerifyError::FlagsMismatch {
-            expected: reference.flags(),
-            got: frame_machine.flags(),
-        });
+        return Err(maybe_at_uop(
+            VerifyError::new(VerifyErrorKind::FlagsMismatch {
+                expected: reference.flags(),
+                got: frame_machine.flags(),
+            }),
+            blame_flags(frame),
+        ));
     }
 
     // (2) Memory equivalence over every location the trace touched, plus
@@ -176,22 +293,26 @@ pub fn verify_against_records(
         let expected = reference.load32(addr);
         let got = frame_machine.load32(addr);
         if expected != got {
-            return Err(VerifyError::MemoryMismatch {
-                addr,
-                expected,
-                got,
-            });
+            return Err(maybe_at_uop(
+                VerifyError::new(VerifyErrorKind::MemoryMismatch {
+                    addr,
+                    expected,
+                    got,
+                }),
+                blame_store(&transactions, addr),
+            ));
         }
     }
     for t in transactions.iter().filter(|t| t.is_store) {
         let expected = reference.load32(t.addr);
         let got = frame_machine.load32(t.addr);
         if expected != got {
-            return Err(VerifyError::MemoryMismatch {
+            return Err(VerifyError::new(VerifyErrorKind::MemoryMismatch {
                 addr: t.addr,
                 expected,
                 got,
-            });
+            })
+            .at_uop(t.uop_index));
         }
     }
     Ok(())
@@ -232,48 +353,66 @@ pub fn verify_differential(
             if matches!(o2, FrameOutcome::UnsafeConflict { .. }) {
                 return Ok(());
             }
-            return Err(VerifyError::OutcomeMismatch {
-                original: format!("{o1:?}"),
-                optimized: format!("{o2:?}"),
-            });
+            // Blame the uop the optimized form stopped at, or (when the
+            // original stopped and the optimized ran through) the uop the
+            // original fired on — the optimizer lost that assertion.
+            let at = outcome_uop(&o2).or_else(|| outcome_uop(&o1));
+            return Err(maybe_at_uop(
+                VerifyError::new(VerifyErrorKind::OutcomeMismatch {
+                    original: format!("{o1:?}"),
+                    optimized: format!("{o2:?}"),
+                }),
+                at,
+            ));
         }
     }
 
     for r in ArchReg::GPRS {
         if m1.reg(r) != m2.reg(r) {
-            return Err(VerifyError::RegisterMismatch {
-                reg: r,
-                expected: m1.reg(r),
-                got: m2.reg(r),
-            });
+            return Err(maybe_at_uop(
+                VerifyError::new(VerifyErrorKind::RegisterMismatch {
+                    reg: r,
+                    expected: m1.reg(r),
+                    got: m2.reg(r),
+                }),
+                blame_reg(optimized, r),
+            ));
         }
     }
     if m1.flags() != m2.flags() {
-        return Err(VerifyError::FlagsMismatch {
-            expected: m1.flags(),
-            got: m2.flags(),
-        });
+        return Err(maybe_at_uop(
+            VerifyError::new(VerifyErrorKind::FlagsMismatch {
+                expected: m1.flags(),
+                got: m2.flags(),
+            }),
+            blame_flags(optimized),
+        ));
     }
     // Compare memory over both frames' store footprints.
-    let addrs: Vec<u32> = match (&o1, &o2) {
+    let (addrs, opt_transactions): (Vec<u32>, &[MemTransaction]) = match (&o1, &o2) {
         (
             FrameOutcome::Completed { transactions: t1 },
             FrameOutcome::Completed { transactions: t2 },
-        ) => t1
-            .iter()
-            .chain(t2.iter())
-            .filter(|t| t.is_store)
-            .map(|t| t.addr)
-            .collect(),
+        ) => (
+            t1.iter()
+                .chain(t2.iter())
+                .filter(|t| t.is_store)
+                .map(|t| t.addr)
+                .collect(),
+            t2,
+        ),
         _ => unreachable!("both completed"),
     };
     for addr in addrs {
         if m1.load32(addr) != m2.load32(addr) {
-            return Err(VerifyError::MemoryMismatch {
-                addr,
-                expected: m1.load32(addr),
-                got: m2.load32(addr),
-            });
+            return Err(maybe_at_uop(
+                VerifyError::new(VerifyErrorKind::MemoryMismatch {
+                    addr,
+                    expected: m1.load32(addr),
+                    got: m2.load32(addr),
+                }),
+                blame_store(opt_transactions, addr),
+            ));
         }
     }
     Ok(())
@@ -403,12 +542,14 @@ mod tests {
         ]);
         let err = verify_differential(&raw(&frame), &raw(&bugged), &entry_state()).unwrap_err();
         assert!(matches!(
-            err,
-            VerifyError::RegisterMismatch {
+            err.kind,
+            VerifyErrorKind::RegisterMismatch {
                 reg: ArchReg::Ecx,
                 ..
             }
         ));
+        // Ecx is produced by the add at slot 1 of the bugged frame.
+        assert_eq!(err.uop_index, Some(1));
     }
 
     #[test]
@@ -416,7 +557,9 @@ mod tests {
         let good = mk_frame(vec![Uop::store(ArchReg::Esp, -4, ArchReg::Ebp)]);
         let bad = mk_frame(vec![Uop::store(ArchReg::Esp, -4, ArchReg::Ebx)]);
         let err = verify_differential(&raw(&good), &raw(&bad), &entry_state()).unwrap_err();
-        assert!(matches!(err, VerifyError::MemoryMismatch { .. }));
+        assert!(matches!(err.kind, VerifyErrorKind::MemoryMismatch { .. }));
+        // The bad store is the only uop in the frame.
+        assert_eq!(err.uop_index, Some(0));
     }
 
     #[test]
@@ -491,7 +634,10 @@ mod tests {
             Uop::lea(ArchReg::Esp, ArchReg::Esp, None, 1, -4),
         ]);
         let err = verify_against_records(&raw(&frame), &entry_state(), &records).unwrap_err();
-        assert!(matches!(err, VerifyError::MemoryMismatch { .. }), "{err}");
+        assert!(
+            matches!(err.kind, VerifyErrorKind::MemoryMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -503,8 +649,22 @@ mod tests {
         // first.
         let err = verify_against_records(&raw(&frame), &entry_state(), &records).unwrap_err();
         assert!(matches!(
-            err,
-            VerifyError::LoadOutsideInitialMap { addr: 0x100 }
+            err.kind,
+            VerifyErrorKind::LoadOutsideInitialMap { addr: 0x100 }
         ));
+        assert_eq!(err.uop_index, Some(0));
+    }
+
+    #[test]
+    fn error_display_includes_context() {
+        let err = VerifyError::new(VerifyErrorKind::FlagsMismatch {
+            expected: Flags::from_bits(0),
+            got: Flags::from_bits(1),
+        })
+        .at_uop(7)
+        .in_pass("CSE");
+        let text = err.to_string();
+        assert!(text.contains("[uop 7]"), "{text}");
+        assert!(text.contains("[pass CSE]"), "{text}");
     }
 }
