@@ -7,6 +7,7 @@
 //! replay sim <workload|FILE> [-c CFG] [-n N] [--verify]
 //!                                           simulate one configuration
 //! replay compare <workload|FILE> [-n N]     all four configurations side by side
+//! replay report <workload|FILE> --json FILE emit the structured profile artifact
 //! replay frames <workload> [-n N] [--top K] inspect the most-optimized frames
 //! replay check [--cases N] [--seed S] [--passes all|pipeline|<list>]
 //!                                           property-check the optimizer
@@ -25,13 +26,14 @@ use std::time::Instant;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("workloads") => cmd_workloads(),
+        Some("workloads") => cmd_workloads(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("bench-parallel") => cmd_bench_parallel(&args[1..]),
         Some("frames") => cmd_frames(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -57,11 +59,15 @@ USAGE:
   replay workloads                           list the synthetic workload suite
   replay gen <workload> -o FILE [-n N] [-s SEG]
                                              generate and save a trace
-  replay sim <workload|FILE> [-c CFG] [-n N] [--verify]
+  replay sim <workload|FILE> [-c CFG] [-n N] [--verify] [--profile [--timings]]
                                              simulate one configuration
                                              (CFG: IC, TC, RP, RPO; default RPO)
-  replay compare <workload|FILE> [-n N] [--jobs N]
+  replay compare <workload|FILE> [-n N] [--jobs N] [--profile [--timings]]
                                              all four configurations side by side
+  replay report <workload|FILE> [--json FILE] [-n N] [--jobs N] [--timings]
+                                             run all four configurations and emit the
+                                             structured observability profile
+                                             (replay-report/v1 JSON; stdout or FILE)
   replay bench-parallel [-n N] [--jobs N] [--out FILE]
                                              time the serial vs parallel experiment
                                              engine and record BENCH_parallel.json
@@ -83,48 +89,209 @@ and 1 forces the legacy serial path. Results are identical at any count."
     );
 }
 
-/// Long flags that take a value (`--jobs 8`); every other `--flag` is
-/// boolean. `--flag=value` works for any flag.
-const VALUE_LONG_FLAGS: [&str; 9] = [
-    "jobs", "threads", "top", "out", "cases", "seed", "passes", "corpus", "entries",
-];
+/// One option in a subcommand's vocabulary: every accepted spelling
+/// (without leading dashes; one-character names are `-x` short options)
+/// and whether the option consumes a value.
+struct FlagSpec {
+    names: &'static [&'static str],
+    takes_value: bool,
+}
 
-/// Parses `-x value` style options; returns (positional, lookup).
+const fn flag(names: &'static [&'static str], takes_value: bool) -> FlagSpec {
+    FlagSpec { names, takes_value }
+}
+
+/// The shared `--jobs N` / `--threads N` / `-j N` worker-count option.
+const JOBS_FLAG: FlagSpec = flag(&["jobs", "threads", "j"], true);
+
+/// A subcommand's full option vocabulary. [`Opts::parse`] rejects any
+/// option outside it, naming the valid set — a misspelled flag (`--case`
+/// for `--cases`) is an error, never a silent no-op.
+struct CmdSpec {
+    name: &'static str,
+    flags: &'static [FlagSpec],
+}
+
+impl CmdSpec {
+    fn lookup(&self, name: &str) -> Option<&FlagSpec> {
+        self.flags.iter().find(|f| f.names.contains(&name))
+    }
+
+    /// Human-readable rendering of every accepted option, for error
+    /// messages: `--jobs/--threads/-j N, --profile, ...`.
+    fn valid_set(&self) -> String {
+        if self.flags.is_empty() {
+            return "none".into();
+        }
+        self.flags
+            .iter()
+            .map(|f| {
+                let spellings: Vec<String> = f
+                    .names
+                    .iter()
+                    .map(|n| {
+                        if n.len() == 1 {
+                            format!("-{n}")
+                        } else {
+                            format!("--{n}")
+                        }
+                    })
+                    .collect();
+                let mut s = spellings.join("/");
+                if f.takes_value {
+                    s.push_str(" VALUE");
+                }
+                s
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn unknown(&self, given: &str) -> String {
+        format!(
+            "unknown option {given:?} for `replay {}` (valid options: {})",
+            self.name,
+            self.valid_set()
+        )
+    }
+}
+
+const SPEC_WORKLOADS: CmdSpec = CmdSpec {
+    name: "workloads",
+    flags: &[],
+};
+const SPEC_GEN: CmdSpec = CmdSpec {
+    name: "gen",
+    flags: &[
+        flag(&["o", "out"], true),
+        flag(&["n"], true),
+        flag(&["s"], true),
+    ],
+};
+const SPEC_SIM: CmdSpec = CmdSpec {
+    name: "sim",
+    flags: &[
+        flag(&["c"], true),
+        flag(&["n"], true),
+        flag(&["verify"], false),
+        flag(&["profile"], false),
+        flag(&["timings"], false),
+    ],
+};
+const SPEC_COMPARE: CmdSpec = CmdSpec {
+    name: "compare",
+    flags: &[
+        flag(&["n"], true),
+        JOBS_FLAG,
+        flag(&["profile"], false),
+        flag(&["timings"], false),
+    ],
+};
+const SPEC_BENCH_PARALLEL: CmdSpec = CmdSpec {
+    name: "bench-parallel",
+    flags: &[flag(&["n"], true), JOBS_FLAG, flag(&["out", "o"], true)],
+};
+const SPEC_FRAMES: CmdSpec = CmdSpec {
+    name: "frames",
+    flags: &[flag(&["n"], true), flag(&["top", "t"], true)],
+};
+const SPEC_CHECK: CmdSpec = CmdSpec {
+    name: "check",
+    flags: &[
+        flag(&["cases"], true),
+        flag(&["seed"], true),
+        flag(&["passes"], true),
+        flag(&["corpus"], true),
+        flag(&["entries"], true),
+        JOBS_FLAG,
+        flag(&["faults"], false),
+        flag(&["no-shrink"], false),
+    ],
+};
+const SPEC_INFO: CmdSpec = CmdSpec {
+    name: "info",
+    flags: &[flag(&["n"], true)],
+};
+const SPEC_DISASM: CmdSpec = CmdSpec {
+    name: "disasm",
+    flags: &[flag(&["s"], true)],
+};
+const SPEC_REPORT: CmdSpec = CmdSpec {
+    name: "report",
+    flags: &[
+        flag(&["n"], true),
+        JOBS_FLAG,
+        flag(&["json"], true),
+        flag(&["timings"], false),
+    ],
+};
+
+/// Parsed options: positionals plus a flag lookup, validated against a
+/// [`CmdSpec`].
+#[derive(Debug)]
 struct Opts<'a> {
     positional: Vec<&'a str>,
     flags: Vec<(&'a str, Option<&'a str>)>,
 }
 
 impl<'a> Opts<'a> {
-    fn parse(args: &'a [String]) -> Opts<'a> {
+    fn parse(args: &'a [String], spec: &CmdSpec) -> Result<Opts<'a>, String> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let a = args[i].as_str();
             if let Some(name) = a.strip_prefix("--") {
-                if let Some((k, v)) = name.split_once('=') {
-                    flags.push((k, Some(v)));
-                    i += 1;
-                } else if VALUE_LONG_FLAGS.contains(&name) {
-                    let value = args.get(i + 1).map(String::as_str);
-                    flags.push((name, value));
-                    i += 2;
+                let (key, inline) = match name.split_once('=') {
+                    Some((k, v)) => (k, Some(v)),
+                    None => (name, None),
+                };
+                let f = spec.lookup(key).ok_or_else(|| spec.unknown(a))?;
+                // Store under the canonical (first) spelling so lookups by
+                // canonical name see every alias.
+                let canon = f.names[0];
+                if f.takes_value {
+                    match inline {
+                        Some(v) => {
+                            flags.push((canon, Some(v)));
+                            i += 1;
+                        }
+                        None => {
+                            let v = args
+                                .get(i + 1)
+                                .map(String::as_str)
+                                .ok_or_else(|| format!("option --{key} requires a value"))?;
+                            flags.push((canon, Some(v)));
+                            i += 2;
+                        }
+                    }
                 } else {
-                    // Boolean long flags.
-                    flags.push((name, None));
+                    if inline.is_some() {
+                        return Err(format!("option --{key} does not take a value"));
+                    }
+                    flags.push((canon, None));
                     i += 1;
                 }
-            } else if a.starts_with('-') && a.len() == 2 {
-                let value = args.get(i + 1).map(String::as_str);
-                flags.push((&a[1..], value));
-                i += 2;
+            } else if let Some(name) = a.strip_prefix('-').filter(|n| !n.is_empty()) {
+                let f = spec.lookup(name).ok_or_else(|| spec.unknown(a))?;
+                let canon = f.names[0];
+                if f.takes_value {
+                    let v = args
+                        .get(i + 1)
+                        .map(String::as_str)
+                        .ok_or_else(|| format!("option -{name} requires a value"))?;
+                    flags.push((canon, Some(v)));
+                    i += 2;
+                } else {
+                    flags.push((canon, None));
+                    i += 1;
+                }
             } else {
                 positional.push(a);
                 i += 1;
             }
         }
-        Opts { positional, flags }
+        Ok(Opts { positional, flags })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -163,7 +330,11 @@ impl<'a> Opts<'a> {
     }
 }
 
-fn cmd_workloads() -> Result<(), String> {
+fn cmd_workloads(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &SPEC_WORKLOADS)?;
+    if !opts.positional.is_empty() {
+        return Err("usage: replay workloads".into());
+    }
     println!(
         "{:10} {:8} {:>9} {:>14}   (Table 1 of the paper)",
         "name", "suite", "segments", "default x86"
@@ -201,7 +372,7 @@ fn load_trace(source: &str, n: usize, segment: usize) -> Result<Arc<Trace>, Stri
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args);
+    let opts = Opts::parse(args, &SPEC_GEN)?;
     let [name] = opts.positional[..] else {
         return Err("usage: replay gen <workload> -o FILE [-n N] [-s SEG]".into());
     };
@@ -228,7 +399,7 @@ fn config_by_label(label: &str) -> Result<ConfigKind, String> {
 }
 
 fn cmd_sim(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args);
+    let opts = Opts::parse(args, &SPEC_SIM)?;
     let [source] = opts.positional[..] else {
         return Err("usage: replay sim <workload|FILE> [-c CFG] [-n N] [--verify]".into());
     };
@@ -270,11 +441,15 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
             r.bins.fraction(bin) * 100.0
         );
     }
+    if opts.has("profile") {
+        println!("profile [{}]:", kind.label());
+        print!("{}", r.profile.render_table(opts.has("timings")));
+    }
     Ok(())
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args);
+    let opts = Opts::parse(args, &SPEC_COMPARE)?;
     let [source] = opts.positional[..] else {
         return Err("usage: replay compare <workload|FILE> [-n N] [--jobs N]".into());
     };
@@ -324,6 +499,104 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     if rp > 0.0 {
         println!("optimization gain: {:+.1}%", (rpo / rp - 1.0) * 100.0);
     }
+    if opts.has("profile") {
+        // The profile section is deterministic: counters only (timings are
+        // wall clock and stay hidden unless --timings), merged shards in
+        // submission order — byte-identical at any --jobs count.
+        let timings = opts.has("timings");
+        for (kind, r) in ConfigKind::ALL.into_iter().zip(&results) {
+            println!("profile [{}]:", kind.label());
+            print!("{}", r.profile.render_table(timings));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the merged cross-configuration profile for a `report` run: the
+/// per-spec profiles are submitted to a [`replay_obs::Registry`] in
+/// submission (spec) order and merged deterministically, then the
+/// process-wide trace-store memoization counters are folded in.
+fn combined_profile(results: &[replay_sim::SimResult]) -> replay_obs::Profile {
+    let registry = replay_obs::Registry::new();
+    for (i, r) in results.iter().enumerate() {
+        registry.submit(i, r.profile.clone());
+    }
+    let mut combined = registry.finish();
+    let mut obs = replay_obs::Obs::collecting();
+    TraceStore::global().observe_into(&mut obs);
+    combined.merge(&obs.into_profile());
+    combined
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &SPEC_REPORT)?;
+    let [source] = opts.positional[..] else {
+        return Err(
+            "usage: replay report <workload|FILE> [--json FILE] [-n N] [--jobs N] [--timings]"
+                .into(),
+        );
+    };
+    let n = opts.count("n", 30_000)?;
+    let jobs = opts.jobs()?;
+    let timings = opts.has("timings");
+    let trace = load_trace(source, n, 0)?;
+    let specs: Vec<SimSpec> = ConfigKind::ALL
+        .into_iter()
+        .map(|kind| SimSpec {
+            name: trace.name.clone(),
+            traces: vec![Arc::clone(&trace)],
+            cfg: SimConfig::new(kind).without_verify(),
+        })
+        .collect();
+    let results = experiment::run_specs(&specs, jobs);
+
+    // Stable machine-readable schema: per-configuration profiles plus the
+    // deterministic cross-configuration merge. Worker count and wall time
+    // are intentionally absent (unless --timings) so the artifact is
+    // byte-identical run to run at any --jobs.
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"replay-report/v1\",\n");
+    json.push_str(&format!("  \"workload\": \"{}\",\n", trace.name));
+    json.push_str(&format!("  \"scale\": {},\n", trace.len()));
+    json.push_str("  \"configs\": {\n");
+    for (i, (kind, r)) in ConfigKind::ALL.into_iter().zip(&results).enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "    \"{}\": {}",
+            kind.label(),
+            r.profile.to_json(timings)
+        ));
+    }
+    json.push_str("\n  },\n");
+    json.push_str(&format!(
+        "  \"combined\": {}\n}}\n",
+        combined_profile(&results).to_json(timings)
+    ));
+
+    match opts.get("json") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path:?}: {e}"))?;
+            println!(
+                "trace `{}`: {} x86 instructions ({} worker{})",
+                trace.name,
+                trace.len(),
+                jobs,
+                if jobs == 1 { "" } else { "s" }
+            );
+            for (kind, r) in ConfigKind::ALL.into_iter().zip(&results) {
+                println!(
+                    "  {:4} dyn uops removed {:>9} / {:>9}",
+                    kind.label(),
+                    r.dyn_uops_removed,
+                    r.dyn_uops_total
+                );
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
     Ok(())
 }
 
@@ -338,7 +611,7 @@ fn json_f64(v: f64) -> String {
 }
 
 fn cmd_bench_parallel(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args);
+    let opts = Opts::parse(args, &SPEC_BENCH_PARALLEL)?;
     if !opts.positional.is_empty() {
         return Err("usage: replay bench-parallel [-n N] [--jobs N] [--out FILE]".into());
     }
@@ -434,7 +707,7 @@ fn cmd_bench_parallel(args: &[String]) -> Result<(), String> {
 fn cmd_check(args: &[String]) -> Result<(), String> {
     use replay_check::{probe_fault_sensitivity, run_check, to_text, CheckConfig, PassSelection};
 
-    let opts = Opts::parse(args);
+    let opts = Opts::parse(args, &SPEC_CHECK)?;
     if !opts.positional.is_empty() {
         return Err("usage: replay check [--cases N] [--seed S] [--passes P] [--faults]".into());
     }
@@ -538,7 +811,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args);
+    let opts = Opts::parse(args, &SPEC_INFO)?;
     let [source] = opts.positional[..] else {
         return Err("usage: replay info <workload|FILE> [-n N]".into());
     };
@@ -550,7 +823,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_disasm(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args);
+    let opts = Opts::parse(args, &SPEC_DISASM)?;
     let [name] = opts.positional[..] else {
         return Err("usage: replay disasm <workload> [-s SEG]".into());
     };
@@ -567,12 +840,12 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_frames(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args);
+    let opts = Opts::parse(args, &SPEC_FRAMES)?;
     let [name] = opts.positional[..] else {
         return Err("usage: replay frames <workload> [-n N] [--top K]".into());
     };
     let n = opts.count("n", 20_000)?;
-    let top = opts.count("top", opts.count("t", 3)?)?;
+    let top = opts.count("top", 3)?;
     let w = workloads::by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
     let trace = w.segment_trace(0, n);
     let mut injector = Injector::new();
@@ -617,4 +890,99 @@ fn cmd_frames(args: &[String]) -> Result<(), String> {
         println!("--- after ---\n{}", opt.listing());
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn known_flags_parse() {
+        let args = argv(&["gzip", "-n", "4000", "--jobs=8", "--profile"]);
+        let opts = Opts::parse(&args, &SPEC_COMPARE).unwrap();
+        assert_eq!(opts.positional, vec!["gzip"]);
+        assert_eq!(opts.count("n", 0).unwrap(), 4000);
+        assert_eq!(opts.jobs().unwrap(), 8);
+        assert!(opts.has("profile"));
+        assert!(!opts.has("timings"));
+    }
+
+    #[test]
+    fn aliases_normalize_to_canonical() {
+        let args = argv(&["--threads", "3"]);
+        let opts = Opts::parse(&args, &SPEC_COMPARE).unwrap();
+        assert_eq!(opts.jobs().unwrap(), 3);
+        let args = argv(&["x", "--out", "f.bin"]);
+        let opts = Opts::parse(&args, &SPEC_GEN).unwrap();
+        assert_eq!(opts.get("o"), Some("f.bin"));
+        let args = argv(&["w", "-t", "5"]);
+        let opts = Opts::parse(&args, &SPEC_FRAMES).unwrap();
+        assert_eq!(opts.count("top", 3).unwrap(), 5);
+    }
+
+    #[test]
+    fn misspelled_flag_rejected_naming_valid_set() {
+        // The motivating bug: `--case` for `--cases` used to be silently
+        // ignored, running the default 1000 cases instead.
+        let args = argv(&["--case", "5"]);
+        let err = Opts::parse(&args, &SPEC_CHECK).unwrap_err();
+        assert!(err.contains("unknown option \"--case\""), "{err}");
+        assert!(err.contains("replay check"), "{err}");
+        assert!(err.contains("--cases"), "names the valid set: {err}");
+        assert!(err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn unknown_short_flag_rejected() {
+        let args = argv(&["gzip", "-x", "1"]);
+        let err = Opts::parse(&args, &SPEC_COMPARE).unwrap_err();
+        assert!(err.contains("unknown option \"-x\""), "{err}");
+    }
+
+    #[test]
+    fn every_command_rejects_unknown_options() {
+        for spec in [
+            &SPEC_WORKLOADS,
+            &SPEC_GEN,
+            &SPEC_SIM,
+            &SPEC_COMPARE,
+            &SPEC_BENCH_PARALLEL,
+            &SPEC_FRAMES,
+            &SPEC_CHECK,
+            &SPEC_INFO,
+            &SPEC_DISASM,
+            &SPEC_REPORT,
+        ] {
+            let args = argv(&["--definitely-not-a-flag"]);
+            let err = Opts::parse(&args, spec).unwrap_err();
+            assert!(
+                err.contains(&format!("replay {}", spec.name)),
+                "{}: {err}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn value_flag_requires_a_value() {
+        let args = argv(&["gzip", "--jobs"]);
+        let err = Opts::parse(&args, &SPEC_COMPARE).unwrap_err();
+        assert!(err.contains("--jobs requires a value"), "{err}");
+        // Previously `compare gzip -n` at end of args silently fell back to
+        // the default scale; now it is an error.
+        let args = argv(&["gzip", "-n"]);
+        let err = Opts::parse(&args, &SPEC_COMPARE).unwrap_err();
+        assert!(err.contains("-n requires a value"), "{err}");
+    }
+
+    #[test]
+    fn boolean_flag_rejects_inline_value() {
+        let args = argv(&["gzip", "--profile=yes"]);
+        let err = Opts::parse(&args, &SPEC_COMPARE).unwrap_err();
+        assert!(err.contains("--profile does not take a value"), "{err}");
+    }
 }

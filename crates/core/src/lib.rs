@@ -79,6 +79,6 @@ pub use exec::{exec_frame, probe_frame, ExecScratch, FrameOutcome, MemTransactio
 pub use frame_ir::OptFrame;
 pub use ir::{FlagsSrc, Operand, OptUop, Slot, Src};
 pub use passid::{run_pass, PassCtx, PassId};
-pub use pipeline::{optimize, OptConfig, OptScope};
+pub use pipeline::{optimize, optimize_observed, OptConfig, OptScope};
 pub use schedule::reschedule;
 pub use stats::OptStats;

@@ -3,6 +3,7 @@
 use crate::passid::{run_pass, PassCtx, PassId};
 use crate::{AliasProfile, OptFrame, OptStats};
 use replay_frame::Frame;
+use replay_obs::Obs;
 
 /// The scope at which optimizations are applied (§3, §6.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -187,6 +188,23 @@ impl OptConfig {
 /// assert_eq!(opt.uop_count(), 1); // only the store remains
 /// ```
 pub fn optimize(frame: &Frame, profile: &AliasProfile, cfg: &OptConfig) -> (OptFrame, OptStats) {
+    optimize_observed(frame, profile, cfg, &mut Obs::disabled())
+}
+
+/// [`optimize`] with observability: in addition to the per-pass removal
+/// attribution that always lands in [`OptStats::removed_by_pass`], an
+/// enabled [`Obs`] receives per-pass rewrite counters
+/// (`opt.pass.<NAME>.rewrites`, `opt.pass.<NAME>.removed_uops`) and span
+/// wall-time (`opt.pass.<NAME>.time_ns`), plus whole-pipeline metrics
+/// (`opt.frames`, `opt.iterations`, `opt.time_ns`). A disabled handle makes
+/// this identical to [`optimize`] — no formatting, no clock reads.
+pub fn optimize_observed(
+    frame: &Frame,
+    profile: &AliasProfile,
+    cfg: &OptConfig,
+    obs: &mut Obs,
+) -> (OptFrame, OptStats) {
+    let total_span = obs.start_span();
     let mut f = OptFrame::from_frame(frame);
     let mut stats = OptStats {
         uops_before: f.uop_count() as u64,
@@ -197,9 +215,22 @@ pub fn optimize(frame: &Frame, profile: &AliasProfile, cfg: &OptConfig) -> (OptF
     let ctx = cfg.pass_ctx(profile);
     for _ in 0..cfg.max_iterations.max(1) {
         let mut changed = 0u64;
-        for pass in PassId::ALL {
+        for (pi, pass) in PassId::ALL.into_iter().enumerate() {
             if cfg.enables(pass) {
-                changed += run_pass(&mut f, pass, &ctx, &mut stats);
+                let span = obs.start_span();
+                let valid_before = f.uop_count();
+                let rewrites = run_pass(&mut f, pass, &ctx, &mut stats);
+                changed += rewrites;
+                // Valid-slot delta: which pass actually invalidated uops.
+                // Never negative (no pass materializes new uops), and the
+                // deltas telescope to uops_before - uops_after because
+                // compact() drops only already-invalid slots.
+                stats.removed_by_pass[pi] += valid_before.saturating_sub(f.uop_count()) as u64;
+                if obs.enabled() {
+                    let name = pass.name();
+                    obs.counter(&format!("opt.pass.{name}.rewrites"), rewrites);
+                    obs.end_span(&format!("opt.pass.{name}.time_ns"), span);
+                }
             }
         }
         stats.iterations += 1;
@@ -215,6 +246,20 @@ pub fn optimize(frame: &Frame, profile: &AliasProfile, cfg: &OptConfig) -> (OptF
     stats.uops_after = f.uop_count() as u64;
     stats.loads_after = f.load_count() as u64;
     stats.unsafe_stores = f.unsafe_store_count() as u64;
+    if obs.enabled() {
+        obs.counter("opt.frames", 1);
+        obs.counter("opt.iterations", stats.iterations);
+        obs.hist("opt.frame_removed_uops", stats.removed_uops());
+        for (pi, pass) in PassId::ALL.into_iter().enumerate() {
+            if stats.removed_by_pass[pi] != 0 {
+                obs.counter(
+                    &format!("opt.pass.{}.removed_uops", pass.name()),
+                    stats.removed_by_pass[pi],
+                );
+            }
+        }
+        obs.end_span("opt.time_ns", total_span);
+    }
     (f, stats)
 }
 

@@ -40,6 +40,11 @@ pub struct OptStats {
     pub iterations: u64,
     /// Uops repositioned by the optional rescheduling pass.
     pub rescheduled: u64,
+    /// Uops whose slots each pass invalidated, indexed in `PassId::ALL`
+    /// order (NOP, CP, RA, ASST, MEM, CSE, DCE). Measured as the drop in
+    /// the frame's valid-uop count across each pass invocation, so the
+    /// entries telescope exactly: their sum equals `removed_uops()`.
+    pub removed_by_pass: [u64; 7],
 }
 
 impl OptStats {
@@ -91,6 +96,9 @@ impl AddAssign for OptStats {
         self.dce_removed += o.dce_removed;
         self.iterations += o.iterations;
         self.rescheduled += o.rescheduled;
+        for (a, b) in self.removed_by_pass.iter_mut().zip(o.removed_by_pass) {
+            *a += b;
+        }
     }
 }
 

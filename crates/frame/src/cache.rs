@@ -1,6 +1,7 @@
 //! The frame cache.
 
 use crate::Frame;
+use replay_obs::Obs;
 use std::collections::HashMap;
 
 /// Hit/miss counters for the frame cache.
@@ -14,6 +15,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Frames inserted.
     pub inserts: u64,
+    /// Inserts that replaced a resident frame with the same entry address
+    /// (not counted as evictions — no capacity pressure was involved).
+    pub replacements: u64,
+    /// Frames removed by explicit invalidation (the engine invalidates a
+    /// frame's cache entry when one of its assertions aborts).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -25,6 +32,19 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Records every counter under `<prefix>.<counter>` into an [`Obs`].
+    pub fn observe_into(&self, prefix: &str, obs: &mut Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.counter(&format!("{prefix}.hits"), self.hits);
+        obs.counter(&format!("{prefix}.misses"), self.misses);
+        obs.counter(&format!("{prefix}.evictions"), self.evictions);
+        obs.counter(&format!("{prefix}.inserts"), self.inserts);
+        obs.counter(&format!("{prefix}.replacements"), self.replacements);
+        obs.counter(&format!("{prefix}.invalidations"), self.invalidations);
     }
 }
 
@@ -136,6 +156,7 @@ impl<T: CacheEntry> FrameCache<T> {
         }
         if let Some(old) = self.slots.remove(&frame.entry_addr()) {
             self.used_uops -= old.frame.slot_cost();
+            self.stats.replacements += 1;
         }
         while self.used_uops + size > self.capacity_uops {
             let victim = self
@@ -186,6 +207,7 @@ impl<T: CacheEntry> FrameCache<T> {
     pub fn invalidate(&mut self, addr: u32) -> Option<T> {
         let slot = self.slots.remove(&addr)?;
         self.used_uops -= slot.frame.slot_cost();
+        self.stats.invalidations += 1;
         Some(slot.frame)
     }
 }
@@ -246,6 +268,56 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.used_uops(), 10);
         assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.stats().replacements, 1);
+        assert_eq!(c.stats().inserts, 2);
+    }
+
+    #[test]
+    fn repeated_reinsertion_does_not_leak_slots() {
+        // Re-inserting the same entry address many times must keep
+        // used_uops exact: the old cost is refunded every time.
+        let mut c = FrameCache::new(100);
+        for round in 0..50 {
+            // Alternate sizes so a stale-cost bug cannot cancel out.
+            let size = if round % 2 == 0 { 30 } else { 7 };
+            assert!(c.insert(frame(5, size)));
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.used_uops(), size);
+        }
+        assert_eq!(c.stats().inserts, 50);
+        assert_eq!(c.stats().replacements, 49);
+        // No capacity pressure ever arose, so no evictions were charged.
+        assert_eq!(c.stats().evictions, 0);
+        // The cache still has its full capacity available for others.
+        assert!(c.insert(frame(6, 93)));
+        assert_eq!(c.used_uops(), 100);
+    }
+
+    #[test]
+    fn reinsertion_grow_evicts_exactly_as_needed() {
+        // Growing a resident entry refunds the old cost first, then evicts
+        // strictly by LRU until the new size fits — and each eviction is
+        // counted exactly once.
+        let mut c = FrameCache::new(60);
+        c.insert(frame(1, 20));
+        c.insert(frame(2, 20));
+        c.insert(frame(3, 20));
+        // Refresh 1 and 3; frame 2 is now LRU.
+        c.lookup(1);
+        c.lookup(3);
+        // Growing frame 1 from 20 to 40 uops: refund 20, need 40 into the
+        // 20 free -> evict exactly one frame (the LRU, #2).
+        assert!(c.insert(frame(1, 40)));
+        assert_eq!(c.stats().replacements, 1);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.peek(2).is_none(), "LRU frame 2 evicted");
+        assert!(c.peek(3).is_some(), "frame 3 survives");
+        assert_eq!(c.used_uops(), 60);
+        // Accounting stays exact after the churn: drop everything.
+        c.invalidate(1);
+        c.invalidate(3);
+        assert_eq!(c.used_uops(), 0);
+        assert_eq!(c.stats().invalidations, 2);
     }
 
     #[test]

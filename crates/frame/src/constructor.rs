@@ -74,6 +74,33 @@ pub struct ConstructorStats {
     pub ended_by_fence: u64,
 }
 
+impl ConstructorStats {
+    /// Records every counter under `<prefix>.<counter>` into an
+    /// [`replay_obs::Obs`].
+    pub fn observe_into(&self, prefix: &str, obs: &mut replay_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.counter(&format!("{prefix}.completed"), self.completed);
+        obs.counter(&format!("{prefix}.discarded"), self.discarded);
+        obs.counter(
+            &format!("{prefix}.branches_converted"),
+            self.branches_converted,
+        );
+        obs.counter(
+            &format!("{prefix}.indirects_converted"),
+            self.indirects_converted,
+        );
+        obs.counter(&format!("{prefix}.ended_by_branch"), self.ended_by_branch);
+        obs.counter(
+            &format!("{prefix}.ended_by_indirect"),
+            self.ended_by_indirect,
+        );
+        obs.counter(&format!("{prefix}.ended_by_size"), self.ended_by_size);
+        obs.counter(&format!("{prefix}.ended_by_fence"), self.ended_by_fence);
+    }
+}
+
 #[derive(Debug)]
 struct Pending {
     start_addr: u32,

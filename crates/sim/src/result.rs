@@ -3,6 +3,7 @@
 use crate::ConfigKind;
 use replay_core::OptStats;
 use replay_frame::ConstructorStats;
+use replay_obs::Profile;
 use replay_timing::{CycleBins, PipelineStats};
 use replay_verify::VerifyStats;
 
@@ -49,6 +50,11 @@ pub struct SimResult {
     pub verify: VerifyStats,
     /// Dynamic uop-per-x86 ratio observed by the injector.
     pub uop_ratio: f64,
+    /// The run's structured observability profile (`replay-obs`): per-pass
+    /// optimizer attribution, cache/constructor/predictor counters, cycle
+    /// bins, and (nondeterministic, hidden by default renderers) span
+    /// timings. Merging results merges profiles metric-wise.
+    pub profile: Profile,
 }
 
 impl SimResult {
@@ -106,6 +112,11 @@ impl SimResult {
         self.constructor.discarded += other.constructor.discarded;
         self.constructor.branches_converted += other.constructor.branches_converted;
         self.constructor.indirects_converted += other.constructor.indirects_converted;
+        self.constructor.ended_by_branch += other.constructor.ended_by_branch;
+        self.constructor.ended_by_indirect += other.constructor.ended_by_indirect;
+        self.constructor.ended_by_size += other.constructor.ended_by_size;
+        self.constructor.ended_by_fence += other.constructor.ended_by_fence;
+        self.profile.merge(&other.profile);
         self.verify.checked += other.verify.checked;
         self.verify.passed += other.verify.passed;
         self.verify.failed += other.verify.failed;
@@ -142,6 +153,7 @@ mod tests {
             path_mismatches: 0,
             verify: VerifyStats::default(),
             uop_ratio: 1.4,
+            profile: Profile::new(),
         }
     }
 

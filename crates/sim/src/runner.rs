@@ -11,10 +11,11 @@
 
 use crate::{ConfigKind, Injector, SimConfig, SimResult, TraceEntry, TraceFiller};
 use replay_core::{
-    optimize, probe_frame, AliasProfile, ExecScratch, OptFrame, OptStats, OptimizerDatapath,
-    ProbeOutcome,
+    optimize_observed, probe_frame, AliasProfile, ExecScratch, OptFrame, OptStats,
+    OptimizerDatapath, PassId, ProbeOutcome,
 };
 use replay_frame::{CacheEntry, FrameCache, FrameConstructor, RetireEvent};
+use replay_obs::Obs;
 use replay_timing::{FetchPath, FrameFetch, Pipeline, X86Fetch};
 use replay_trace::{Trace, TraceRecord};
 use replay_verify::Verifier;
@@ -29,6 +30,10 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 struct CachedFrame {
     opt: Arc<OptFrame>,
+    /// Uops each pass removed from this frame (`PassId::ALL` order), kept
+    /// alongside the frame so every dynamic fetch can attribute its saved
+    /// uops to the pass that earned them.
+    removed_by_pass: [u64; 7],
 }
 
 impl CacheEntry for CachedFrame {
@@ -137,6 +142,10 @@ struct Runner<'a> {
     path_mismatch_completions: u64,
     dyn_uops_removed: u64,
     dyn_loads_removed: u64,
+    /// Dynamic uops saved, attributed to the pass that removed them
+    /// (`PassId::ALL` order). Sums exactly to `dyn_uops_removed`.
+    dyn_removed_by_pass: [u64; 7],
+    obs: Obs,
     recent_mem: AliasWindow,
     /// Reusable buffers for the frame-fetch hot path.
     scratch: ExecScratch,
@@ -166,6 +175,8 @@ impl<'a> Runner<'a> {
             path_mismatch_completions: 0,
             dyn_uops_removed: 0,
             dyn_loads_removed: 0,
+            dyn_removed_by_pass: [0; 7],
+            obs: Obs::collecting(),
             recent_mem: AliasWindow::new(ALIAS_WINDOW),
             scratch: ExecScratch::new(),
             mem_addrs: Vec::new(),
@@ -258,7 +269,8 @@ impl<'a> Runner<'a> {
         match self.cfg.kind {
             ConfigKind::ReplayOpt => {
                 self.profile_span(frame.x86_count());
-                let (opt, stats) = optimize(&frame, &self.profile, &self.cfg.opt);
+                let (opt, stats) =
+                    optimize_observed(&frame, &self.profile, &self.cfg.opt, &mut self.obs);
                 self.opt_stats += stats;
                 if self.cfg.verify {
                     let mut raw = OptFrame::from_frame(&frame);
@@ -268,7 +280,10 @@ impl<'a> Runner<'a> {
                 // Frames become visible only after the optimizer datapath's
                 // pipelined latency (10 cycles per uop).
                 self.datapath.offer(
-                    CachedFrame { opt: Arc::new(opt) },
+                    CachedFrame {
+                        opt: Arc::new(opt),
+                        removed_by_pass: stats.removed_by_pass,
+                    },
                     frame.orig_uop_count,
                     now,
                 );
@@ -284,14 +299,18 @@ impl<'a> Runner<'a> {
                     loads_after: opt.load_count() as u64,
                     ..OptStats::default()
                 };
-                self.frame_cache.insert(CachedFrame { opt: Arc::new(opt) });
+                self.frame_cache.insert(CachedFrame {
+                    opt: Arc::new(opt),
+                    removed_by_pass: [0; 7],
+                });
             }
         }
     }
 
     /// Fetches one dynamic instance of a cached frame starting at record
     /// `i`. Returns the number of records consumed.
-    fn fetch_frame_instance(&mut self, opt: &OptFrame, i: usize) -> usize {
+    fn fetch_frame_instance(&mut self, cached: &CachedFrame, i: usize) -> usize {
+        let opt: &OptFrame = &cached.opt;
         let n = opt.x86_count();
         // Probe against the golden state without committing: the runner
         // retires the traced records through `consume` either way, so the
@@ -319,6 +338,13 @@ impl<'a> Runner<'a> {
             self.frames_x86 += n as u64;
             self.dyn_uops_removed += (opt.orig_uop_count.saturating_sub(opt.uop_count())) as u64;
             self.dyn_loads_removed += (opt.orig_load_count.saturating_sub(opt.load_count())) as u64;
+            for (d, r) in self
+                .dyn_removed_by_pass
+                .iter_mut()
+                .zip(cached.removed_by_pass)
+            {
+                *d += r;
+            }
             for j in 0..n {
                 self.consume(i + j);
             }
@@ -424,10 +450,10 @@ impl<'a> Runner<'a> {
                     }
                 }
                 ConfigKind::Replay | ConfigKind::ReplayOpt => {
-                    let hit = self.frame_cache.lookup(addr).map(|c| Arc::clone(&c.opt));
+                    let hit = self.frame_cache.lookup(addr).cloned();
                     match hit {
-                        Some(opt) => {
-                            i += self.fetch_frame_instance(&opt, i);
+                        Some(cached) => {
+                            i += self.fetch_frame_instance(&cached, i);
                         }
                         None => {
                             self.fetch_via_decoder(i, FetchPath::ICache);
@@ -446,6 +472,45 @@ impl<'a> Runner<'a> {
         } else {
             self.frames_x86 as f64 / pstats.retired_x86 as f64
         };
+
+        // Final harvest: everything the run observed, under stable names.
+        // The per-pass optimizer metrics (opt.*) accumulated in-line.
+        self.frame_cache
+            .stats()
+            .observe_into("frame_cache", &mut self.obs);
+        self.tc_cache
+            .stats()
+            .observe_into("trace_cache", &mut self.obs);
+        self.constructor
+            .stats()
+            .observe_into("constructor", &mut self.obs);
+        pstats.observe_into("pipeline", &mut self.obs);
+        self.pipeline.bins().observe_into("cycles", &mut self.obs);
+        let vstats = self.verifier.stats();
+        self.obs.counter("verify.checked", vstats.checked);
+        self.obs.counter("verify.passed", vstats.passed);
+        self.obs.counter("verify.failed", vstats.failed);
+        self.obs.counter("verify.skipped", vstats.skipped);
+        self.obs
+            .counter("sim.dyn_uops_total", self.injector.uops_seen());
+        self.obs
+            .counter("sim.dyn_uops_removed", self.dyn_uops_removed);
+        self.obs
+            .counter("sim.dyn_loads_total", self.injector.loads_seen());
+        self.obs
+            .counter("sim.dyn_loads_removed", self.dyn_loads_removed);
+        self.obs.counter("sim.frames_x86", self.frames_x86);
+        self.obs
+            .counter("sim.path_mismatches", self.path_mismatch_completions);
+        for (pi, pass) in PassId::ALL.into_iter().enumerate() {
+            if self.obs.enabled() {
+                self.obs.counter(
+                    &format!("sim.pass.{}.dyn_removed_uops", pass.name()),
+                    self.dyn_removed_by_pass[pi],
+                );
+            }
+        }
+
         SimResult {
             workload: String::new(),
             config: self.cfg.kind,
@@ -464,6 +529,7 @@ impl<'a> Runner<'a> {
             path_mismatches: self.path_mismatch_completions,
             verify: self.verifier.stats(),
             uop_ratio: self.injector.uop_ratio(),
+            profile: self.obs.into_profile(),
         }
     }
 }

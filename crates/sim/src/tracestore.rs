@@ -35,6 +35,7 @@ type Key = (&'static str, usize, usize);
 pub struct TraceStore {
     segments: Mutex<HashMap<Key, Arc<OnceLock<Arc<Trace>>>>>,
     generations: AtomicU64,
+    requests: AtomicU64,
 }
 
 impl TraceStore {
@@ -61,6 +62,7 @@ impl TraceStore {
     /// Panics if `segment >= workload.segments` (as
     /// [`Workload::segment_trace`] does).
     pub fn segment(&self, workload: &Workload, segment: usize, scale: usize) -> Arc<Trace> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         let cell = {
             let mut map = self.segments.lock().expect("trace store poisoned");
             map.entry((workload.name, segment, scale))
@@ -103,6 +105,25 @@ impl TraceStore {
         self.generations.load(Ordering::Relaxed)
     }
 
+    /// How many segment requests the store has served over its lifetime
+    /// (memoization hits are `requests() - generations()`).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Records the store's memoization counters into an
+    /// [`replay_obs::Obs`] under `tracestore.*`.
+    pub fn observe_into(&self, obs: &mut replay_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        let requests = self.requests();
+        let generations = self.generations();
+        obs.counter("tracestore.requests", requests);
+        obs.counter("tracestore.generations", generations);
+        obs.counter("tracestore.hits", requests.saturating_sub(generations));
+    }
+
     /// Number of distinct `(workload, segment, scale)` keys requested so
     /// far.
     pub fn cached_segments(&self) -> usize {
@@ -136,6 +157,23 @@ mod tests {
         assert_eq!(c.len(), 600);
         assert_eq!(store.generations(), 2);
         assert_eq!(store.cached_segments(), 2);
+    }
+
+    #[test]
+    fn memoization_hits_are_observable() {
+        let store = TraceStore::new();
+        let w = workloads::by_name("gzip").unwrap();
+        store.segment(&w, 0, 500);
+        store.segment(&w, 0, 500);
+        store.segment(&w, 0, 500);
+        assert_eq!(store.requests(), 3);
+        assert_eq!(store.generations(), 1);
+        let mut obs = replay_obs::Obs::collecting();
+        store.observe_into(&mut obs);
+        let p = obs.into_profile();
+        assert_eq!(p.counter("tracestore.requests"), 3);
+        assert_eq!(p.counter("tracestore.generations"), 1);
+        assert_eq!(p.counter("tracestore.hits"), 2);
     }
 
     #[test]

@@ -100,6 +100,18 @@ impl CycleBins {
             .position(|b| *b == bin)
             .expect("bin in ALL")
     }
+
+    /// Records every bin under `<prefix>.<label>` into an
+    /// [`replay_obs::Obs`], plus `<prefix>.total`.
+    pub fn observe_into(&self, prefix: &str, obs: &mut replay_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        for bin in CycleBin::ALL {
+            obs.counter(&format!("{prefix}.{}", bin.label()), self.get(bin));
+        }
+        obs.counter(&format!("{prefix}.total"), self.total());
+    }
 }
 
 impl AddAssign for CycleBins {

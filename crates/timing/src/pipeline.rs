@@ -91,6 +91,31 @@ pub struct PipelineStats {
     pub branches_resolved: u64,
 }
 
+impl PipelineStats {
+    /// Records every counter under `<prefix>.<counter>` into an
+    /// [`replay_obs::Obs`] — the predictor/fetch counters behind the
+    /// paper's Figures 7–8.
+    pub fn observe_into(&self, prefix: &str, obs: &mut replay_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.counter(&format!("{prefix}.retired_x86"), self.retired_x86);
+        obs.counter(&format!("{prefix}.retired_uops"), self.retired_uops);
+        obs.counter(&format!("{prefix}.mispredicts"), self.mispredicts);
+        obs.counter(&format!("{prefix}.btb_misses"), self.btb_misses);
+        obs.counter(&format!("{prefix}.assert_events"), self.assert_events);
+        obs.counter(&format!("{prefix}.frames_fetched"), self.frames_fetched);
+        obs.counter(
+            &format!("{prefix}.branch_resolution_cycles"),
+            self.branch_resolution_cycles,
+        );
+        obs.counter(
+            &format!("{prefix}.branches_resolved"),
+            self.branches_resolved,
+        );
+    }
+}
+
 /// The timing pipeline.
 #[derive(Debug)]
 pub struct Pipeline {

@@ -32,6 +32,12 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 4] = b"RPLT";
 const VERSION: u32 = 1;
 
+/// Upper bound on a declared workload-name length. Real names are a few
+/// dozen bytes; anything past this is a corrupt or hostile header, and
+/// rejecting it up front keeps a forged 4 GiB length from turning into an
+/// allocation request.
+const MAX_NAME_LEN: u32 = 1 << 16;
+
 /// Errors from trace file reading.
 #[derive(Debug)]
 pub enum TraceIoError {
@@ -45,6 +51,10 @@ pub enum TraceIoError {
     BadInstruction(DecodeError),
     /// A string field was not UTF-8.
     BadString,
+    /// A declared field length exceeds the format's sanity bound (a
+    /// hostile or corrupt header; honoring it would demand an absurd
+    /// allocation before any payload byte is checked).
+    OversizedField(&'static str, u64),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -55,6 +65,9 @@ impl std::fmt::Display for TraceIoError {
             TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceIoError::BadInstruction(e) => write!(f, "corrupt instruction bytes: {e}"),
             TraceIoError::BadString => write!(f, "corrupt string field"),
+            TraceIoError::OversizedField(field, len) => {
+                write!(f, "declared {field} length {len} exceeds format bounds")
+            }
         }
     }
 }
@@ -140,8 +153,17 @@ impl<R: Read> Reader<R> {
         Ok(u64::from_le_bytes(b))
     }
     fn bytes(&mut self, n: usize) -> Result<Vec<u8>, TraceIoError> {
-        let mut v = vec![0u8; n];
-        self.inner.read_exact(&mut v)?;
+        // Never pre-allocate a buffer sized by an untrusted header field:
+        // read through `take` so the vector grows only as payload bytes
+        // actually arrive, then verify the declared length was delivered.
+        let mut v = Vec::with_capacity(n.min(4096));
+        let got = (&mut self.inner).take(n as u64).read_to_end(&mut v)?;
+        if got != n {
+            return Err(TraceIoError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "field truncated mid-read",
+            )));
+        }
         Ok(v)
     }
 }
@@ -160,8 +182,12 @@ pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceIoError> {
     if version != VERSION {
         return Err(TraceIoError::BadVersion(version));
     }
-    let name_len = r.u32()? as usize;
-    let name = String::from_utf8(r.bytes(name_len)?).map_err(|_| TraceIoError::BadString)?;
+    let name_len = r.u32()?;
+    if name_len > MAX_NAME_LEN {
+        return Err(TraceIoError::OversizedField("name", name_len as u64));
+    }
+    let name =
+        String::from_utf8(r.bytes(name_len as usize)?).map_err(|_| TraceIoError::BadString)?;
     let mut init_regs = [0u32; replay_uop::NUM_ARCH_REGS];
     for reg in &mut init_regs {
         *reg = r.u32()?;
@@ -299,5 +325,53 @@ mod tests {
         let back = read_trace(&buf[..]).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.name, "empty");
+        assert_eq!(back.init_regs, t.init_regs);
+        assert_eq!(back.init_flags, t.init_flags);
+    }
+
+    /// A valid prefix (magic + version) followed by the given body bytes.
+    fn hostile(body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(body);
+        buf
+    }
+
+    #[test]
+    fn hostile_name_length_rejected_without_allocating() {
+        // Header declares a 4 GiB name. Must fail fast with a typed
+        // error, not attempt the allocation or panic.
+        let buf = hostile(&u32::MAX.to_le_bytes());
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::OversizedField("name", 0xFFFF_FFFF)
+        ));
+        // A large-but-legal declared length with no payload behind it is
+        // an EOF, and only the delivered bytes are ever buffered.
+        let buf = hostile(&1000u32.to_le_bytes());
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+    }
+
+    #[test]
+    fn hostile_record_count_rejected_without_allocating() {
+        // A structurally valid empty trace whose record count is forged
+        // to u64::MAX: the reader must hit EOF on the first (absent)
+        // record rather than reserving u64::MAX slots up front.
+        let t = Trace::new("forged", vec![]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let count_at = buf.len() - 8;
+        buf[count_at..].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+    }
+
+    #[test]
+    fn oversized_field_error_displays_field_and_length() {
+        let msg = TraceIoError::OversizedField("name", 42).to_string();
+        assert!(msg.contains("name") && msg.contains("42"), "{msg}");
     }
 }
