@@ -85,7 +85,13 @@ USAGE:
 
 Parallelism: --jobs/--threads N (or the REPLAY_JOBS environment variable)
 sets the worker count; the default is the machine's available parallelism
-and 1 forces the legacy serial path. Results are identical at any count."
+and 1 forces the legacy serial path. Results are identical at any count.
+
+Persistent store: sim, compare, report, and bench-parallel cache
+synthesized traces and optimized frames under .replay-cache/ so warm
+reruns skip that work with bit-identical results. --cache-dir DIR (or
+REPLAY_CACHE_DIR) moves the cache; --no-store (or REPLAY_NO_STORE)
+disables it. Corrupt cache artifacts are evicted and regenerated."
     );
 }
 
@@ -103,6 +109,12 @@ const fn flag(names: &'static [&'static str], takes_value: bool) -> FlagSpec {
 
 /// The shared `--jobs N` / `--threads N` / `-j N` worker-count option.
 const JOBS_FLAG: FlagSpec = flag(&["jobs", "threads", "j"], true);
+
+/// The shared persistent-store options: `--cache-dir DIR` overrides the
+/// default `.replay-cache` artifact directory, `--no-store` disables the
+/// store for this invocation.
+const CACHE_DIR_FLAG: FlagSpec = flag(&["cache-dir"], true);
+const NO_STORE_FLAG: FlagSpec = flag(&["no-store"], false);
 
 /// A subcommand's full option vocabulary. [`Opts::parse`] rejects any
 /// option outside it, naming the valid set — a misspelled flag (`--case`
@@ -176,6 +188,8 @@ const SPEC_SIM: CmdSpec = CmdSpec {
         flag(&["verify"], false),
         flag(&["profile"], false),
         flag(&["timings"], false),
+        CACHE_DIR_FLAG,
+        NO_STORE_FLAG,
     ],
 };
 const SPEC_COMPARE: CmdSpec = CmdSpec {
@@ -185,11 +199,19 @@ const SPEC_COMPARE: CmdSpec = CmdSpec {
         JOBS_FLAG,
         flag(&["profile"], false),
         flag(&["timings"], false),
+        CACHE_DIR_FLAG,
+        NO_STORE_FLAG,
     ],
 };
 const SPEC_BENCH_PARALLEL: CmdSpec = CmdSpec {
     name: "bench-parallel",
-    flags: &[flag(&["n"], true), JOBS_FLAG, flag(&["out", "o"], true)],
+    flags: &[
+        flag(&["n"], true),
+        JOBS_FLAG,
+        flag(&["out", "o"], true),
+        CACHE_DIR_FLAG,
+        NO_STORE_FLAG,
+    ],
 };
 const SPEC_FRAMES: CmdSpec = CmdSpec {
     name: "frames",
@@ -223,6 +245,8 @@ const SPEC_REPORT: CmdSpec = CmdSpec {
         JOBS_FLAG,
         flag(&["json"], true),
         flag(&["timings"], false),
+        CACHE_DIR_FLAG,
+        NO_STORE_FLAG,
     ],
 };
 
@@ -354,6 +378,25 @@ fn cmd_workloads(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Applies the persistent-store options before the first trace or frame
+/// lookup. `--no-store` disables the artifact store for this invocation;
+/// otherwise the cache root is `--cache-dir DIR`, then the
+/// `REPLAY_CACHE_DIR` environment variable, then `.replay-cache`. The
+/// `REPLAY_NO_STORE` environment variable always wins (it is honored
+/// inside [`replay_store::Store::configure`]).
+fn configure_store(opts: &Opts) {
+    if opts.has("no-store") {
+        replay_store::Store::configure(None);
+        return;
+    }
+    let dir = opts
+        .get("cache-dir")
+        .map(std::path::PathBuf::from)
+        .or_else(|| std::env::var_os(replay_store::CACHE_DIR_ENV).map(std::path::PathBuf::from))
+        .unwrap_or_else(|| std::path::PathBuf::from(".replay-cache"));
+    replay_store::Store::configure(Some(dir));
+}
+
 /// Loads a trace by workload name or from a trace file. Workload traces
 /// come from the process-wide [`TraceStore`], so repeated requests (e.g.
 /// the four configurations of `compare`) synthesize the trace only once.
@@ -405,6 +448,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     };
     let n = opts.count("n", 30_000)?;
     let kind = config_by_label(opts.get("c").unwrap_or("RPO"))?;
+    configure_store(&opts);
     let trace = load_trace(source, n, 0)?;
     let mut cfg = SimConfig::new(kind);
     if !opts.has("verify") {
@@ -455,6 +499,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     };
     let n = opts.count("n", 30_000)?;
     let jobs = opts.jobs()?;
+    configure_store(&opts);
     let trace = load_trace(source, n, 0)?;
     println!(
         "trace `{}`: {} x86 instructions ({} worker{})",
@@ -514,18 +559,31 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 
 /// Builds the merged cross-configuration profile for a `report` run: the
 /// per-spec profiles are submitted to a [`replay_obs::Registry`] in
-/// submission (spec) order and merged deterministically, then the
-/// process-wide trace-store memoization counters are folded in.
+/// submission (spec) order and merged deterministically. Cache-layer
+/// counters live in the separate `store` section ([`store_profile`]) —
+/// they describe *this process's* cache luck, not the simulated machines,
+/// and folding them in here would break the cold-vs-warm byte identity of
+/// `combined`.
 fn combined_profile(results: &[replay_sim::SimResult]) -> replay_obs::Profile {
     let registry = replay_obs::Registry::new();
     for (i, r) in results.iter().enumerate() {
         registry.submit(i, r.profile.clone());
     }
-    let mut combined = registry.finish();
+    registry.finish()
+}
+
+/// The cache-effectiveness profile of this process: in-memory trace
+/// memoization (`tracestore.*`) and, when the persistent store is
+/// enabled, on-disk artifact traffic (`store.*`). Deliberately segregated
+/// from the simulation profiles — these counters differ between cold and
+/// warm runs by design.
+fn store_profile() -> replay_obs::Profile {
     let mut obs = replay_obs::Obs::collecting();
     TraceStore::global().observe_into(&mut obs);
-    combined.merge(&obs.into_profile());
-    combined
+    if let Some(store) = replay_store::Store::global() {
+        store.observe_into(&mut obs);
+    }
+    obs.into_profile()
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
@@ -539,6 +597,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let n = opts.count("n", 30_000)?;
     let jobs = opts.jobs()?;
     let timings = opts.has("timings");
+    configure_store(&opts);
     let trace = load_trace(source, n, 0)?;
     let specs: Vec<SimSpec> = ConfigKind::ALL
         .into_iter()
@@ -571,8 +630,15 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     }
     json.push_str("\n  },\n");
     json.push_str(&format!(
-        "  \"combined\": {}\n}}\n",
+        "  \"combined\": {},\n",
         combined_profile(&results).to_json(timings)
+    ));
+    // The one intentionally non-reproducible section: cache effectiveness
+    // for this process (zero hits on a cold run, nonzero on a warm one).
+    // Consumers comparing reports should strip it first.
+    json.push_str(&format!(
+        "  \"store\": {}\n}}\n",
+        store_profile().to_json(timings)
     ));
 
     match opts.get("json") {
@@ -617,6 +683,7 @@ fn cmd_bench_parallel(args: &[String]) -> Result<(), String> {
     }
     let scale = opts.count("n", 6_000)?;
     let jobs = opts.jobs()?;
+    configure_store(&opts);
     let out = opts
         .get("out")
         .or_else(|| opts.get("o"))
@@ -630,9 +697,11 @@ fn cmd_bench_parallel(args: &[String]) -> Result<(), String> {
     store.prefetch(&ws, scale, jobs);
     let synth_secs = t.elapsed().as_secs_f64();
     let generations = store.generations();
+    let disk_hits = store.disk_hits();
     let segments: usize = ws.iter().map(|w| w.segments).sum();
     println!(
-        "synthesized {segments} trace segments (scale {scale}) in {synth_secs:.2}s on {jobs} workers"
+        "prepared {segments} trace segments (scale {scale}) in {synth_secs:.2}s on {jobs} workers \
+         ({generations} synthesized, {disk_hits} from the persistent store)"
     );
 
     println!("running the Figure 6 grid (14 workloads x 4 configurations) serially...");
@@ -652,6 +721,12 @@ fn cmd_bench_parallel(args: &[String]) -> Result<(), String> {
             "trace store regenerated traces during simulation ({} -> {})",
             generations,
             store.generations()
+        ));
+    }
+    if generations + disk_hits != segments as u64 {
+        return Err(format!(
+            "trace accounting broken: {generations} synthesized + {disk_hits} disk hits \
+             != {segments} segments"
         ));
     }
 
@@ -693,7 +768,7 @@ fn cmd_bench_parallel(args: &[String]) -> Result<(), String> {
     }
     let cores = parallel::available_jobs();
     let json = format!(
-        "{{\n  \"experiment\": \"fig6 ipc grid, serial vs parallel\",\n  \"scale\": {scale},\n  \"jobs\": {jobs},\n  \"available_cores\": {cores},\n  \"trace_segments\": {segments},\n  \"trace_generations\": {generations},\n  \"trace_synthesis_secs\": {},\n  \"serial_secs\": {},\n  \"parallel_secs\": {},\n  \"speedup\": {},\n  \"identical_output\": {identical},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"fig6 ipc grid, serial vs parallel\",\n  \"scale\": {scale},\n  \"jobs\": {jobs},\n  \"available_cores\": {cores},\n  \"trace_segments\": {segments},\n  \"trace_generations\": {generations},\n  \"trace_disk_hits\": {disk_hits},\n  \"trace_synthesis_secs\": {},\n  \"serial_secs\": {},\n  \"parallel_secs\": {},\n  \"speedup\": {},\n  \"identical_output\": {identical},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
         json_f64(synth_secs),
         json_f64(serial_secs),
         json_f64(par_secs),

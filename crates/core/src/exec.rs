@@ -8,7 +8,7 @@
 
 use crate::ir::{FlagsSrc, Src};
 use crate::OptFrame;
-use replay_uop::{eval_alu, Flags, MachineState, Opcode};
+use replay_uop::{eval_alu, eval_alu_with_flags, Flags, MachineState, Opcode};
 use std::collections::HashMap;
 
 /// One memory access performed during frame execution, in program order.
@@ -275,7 +275,14 @@ pub fn probe_frame(frame: &OptFrame, m: &MachineState, scratch: &mut ExecScratch
                         None => u.imm as u32,
                     }
                 };
-                match eval_alu(op, a, b) {
+                // Shifts that may see a zero masked count carry a flags
+                // dependency (set at rename time): a zero-count shift
+                // passes the previous flags through unchanged.
+                let prev = match u.flags_src {
+                    Some(fs) => read_flags(m, flag_results, fs),
+                    None => Flags::CLEAR,
+                };
+                match eval_alu_with_flags(op, a, b, prev) {
                     Ok(r) => {
                         values[i_us] = r.value;
                         if u.writes_flags {

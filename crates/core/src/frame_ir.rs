@@ -33,14 +33,14 @@ pub struct OptFrame {
     pub orig_uop_count: usize,
     /// Load count at construction time.
     pub orig_load_count: usize,
-    slots: Vec<OptUop>,
-    block_of: Vec<u16>,
-    value_uses: Vec<u32>,
-    flags_uses: Vec<u32>,
-    live_out: Vec<(ArchReg, Src)>,
-    flags_out: FlagsSrc,
-    expectations: Vec<ControlExpectation>,
-    spec_loads_removed: u32,
+    pub(crate) slots: Vec<OptUop>,
+    pub(crate) block_of: Vec<u16>,
+    pub(crate) value_uses: Vec<u32>,
+    pub(crate) flags_uses: Vec<u32>,
+    pub(crate) live_out: Vec<(ArchReg, Src)>,
+    pub(crate) flags_out: FlagsSrc,
+    pub(crate) expectations: Vec<ControlExpectation>,
+    pub(crate) spec_loads_removed: u32,
 }
 
 impl OptFrame {
@@ -68,7 +68,14 @@ impl OptFrame {
 
         for (i, u) in frame.uops.iter().enumerate() {
             let lookup = |r: Option<ArchReg>| r.map(|r| rename[r.index()]);
-            let reads_flags = matches!(u.op, Opcode::Br | Opcode::Assert);
+            // Shifts whose masked count may be zero at runtime pass the
+            // previous flags through unchanged (x86 no-op semantics), so
+            // they are flags *readers* as well as writers. An immediate
+            // count that masks to nonzero can never preserve flags.
+            let shift_may_preserve = u.writes_flags
+                && matches!(u.op, Opcode::Shl | Opcode::Shr | Opcode::Sar)
+                && (u.src_b.is_some() || (u.imm as u32) & 31 == 0);
+            let reads_flags = matches!(u.op, Opcode::Br | Opcode::Assert) || shift_may_preserve;
             let opt = OptUop {
                 op: u.op,
                 src_a: lookup(u.src_a),
@@ -120,7 +127,7 @@ impl OptFrame {
         f
     }
 
-    fn rebuild_use_counts(&mut self) {
+    pub(crate) fn rebuild_use_counts(&mut self) {
         self.value_uses = vec![0; self.slots.len()];
         self.flags_uses = vec![0; self.slots.len()];
         for u in &self.slots {

@@ -65,6 +65,7 @@
 mod alias;
 mod datapath;
 mod exec;
+pub mod frame_codec;
 mod frame_ir;
 mod ir;
 pub mod passes;
@@ -79,6 +80,6 @@ pub use exec::{exec_frame, probe_frame, ExecScratch, FrameOutcome, MemTransactio
 pub use frame_ir::OptFrame;
 pub use ir::{FlagsSrc, Operand, OptUop, Slot, Src};
 pub use passid::{run_pass, PassCtx, PassId};
-pub use pipeline::{optimize, optimize_observed, OptConfig, OptScope};
+pub use pipeline::{observe_opt_result, optimize, optimize_observed, OptConfig, OptScope};
 pub use schedule::reschedule;
 pub use stats::OptStats;

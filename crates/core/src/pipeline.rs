@@ -221,15 +221,14 @@ pub fn optimize_observed(
                 let valid_before = f.uop_count();
                 let rewrites = run_pass(&mut f, pass, &ctx, &mut stats);
                 changed += rewrites;
+                stats.rewrites_by_pass[pi] += rewrites;
                 // Valid-slot delta: which pass actually invalidated uops.
                 // Never negative (no pass materializes new uops), and the
                 // deltas telescope to uops_before - uops_after because
                 // compact() drops only already-invalid slots.
                 stats.removed_by_pass[pi] += valid_before.saturating_sub(f.uop_count()) as u64;
                 if obs.enabled() {
-                    let name = pass.name();
-                    obs.counter(&format!("opt.pass.{name}.rewrites"), rewrites);
-                    obs.end_span(&format!("opt.pass.{name}.time_ns"), span);
+                    obs.end_span(&format!("opt.pass.{}.time_ns", pass.name()), span);
                 }
             }
         }
@@ -246,21 +245,46 @@ pub fn optimize_observed(
     stats.uops_after = f.uop_count() as u64;
     stats.loads_after = f.load_count() as u64;
     stats.unsafe_stores = f.unsafe_store_count() as u64;
+    observe_opt_result(obs, cfg, &stats);
     if obs.enabled() {
-        obs.counter("opt.frames", 1);
-        obs.counter("opt.iterations", stats.iterations);
-        obs.hist("opt.frame_removed_uops", stats.removed_uops());
-        for (pi, pass) in PassId::ALL.into_iter().enumerate() {
-            if stats.removed_by_pass[pi] != 0 {
-                obs.counter(
-                    &format!("opt.pass.{}.removed_uops", pass.name()),
-                    stats.removed_by_pass[pi],
-                );
-            }
-        }
         obs.end_span("opt.time_ns", total_span);
     }
     (f, stats)
+}
+
+/// Emits the deterministic per-frame optimizer metrics described by `stats`
+/// under `cfg`: per-enabled-pass rewrite counters, the whole-pipeline
+/// `opt.frames` / `opt.iterations` counters, the removed-uop histogram, and
+/// nonzero per-pass removal attribution. Wall-time spans are *not* included
+/// (they are nondeterministic and excluded from default renderers).
+///
+/// [`optimize_observed`] calls this itself; call it directly only when
+/// replaying a previously computed optimization result — e.g. a frame loaded
+/// from the persistent artifact store on a warm start — so cold and warm
+/// runs produce identical observability profiles.
+pub fn observe_opt_result(obs: &mut Obs, cfg: &OptConfig, stats: &OptStats) {
+    if !obs.enabled() {
+        return;
+    }
+    for (pi, pass) in PassId::ALL.into_iter().enumerate() {
+        if cfg.enables(pass) {
+            obs.counter(
+                &format!("opt.pass.{}.rewrites", pass.name()),
+                stats.rewrites_by_pass[pi],
+            );
+        }
+    }
+    obs.counter("opt.frames", 1);
+    obs.counter("opt.iterations", stats.iterations);
+    obs.hist("opt.frame_removed_uops", stats.removed_uops());
+    for (pi, pass) in PassId::ALL.into_iter().enumerate() {
+        if stats.removed_by_pass[pi] != 0 {
+            obs.counter(
+                &format!("opt.pass.{}.removed_uops", pass.name()),
+                stats.removed_by_pass[pi],
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ pub struct OptStats {
     /// the frame's valid-uop count across each pass invocation, so the
     /// entries telescope exactly: their sum equals `removed_uops()`.
     pub removed_by_pass: [u64; 7],
+    /// Rewrites each pass reported across all iterations, indexed in
+    /// `PassId::ALL` order. This is the per-pass `opt.pass.*.rewrites`
+    /// observability counter in aggregate form, carried here so a frame
+    /// optimized once can replay its exact metric contribution later
+    /// (e.g. on a warm start from the persistent artifact store).
+    pub rewrites_by_pass: [u64; 7],
 }
 
 impl OptStats {
@@ -97,6 +103,9 @@ impl AddAssign for OptStats {
         self.iterations += o.iterations;
         self.rescheduled += o.rescheduled;
         for (a, b) in self.removed_by_pass.iter_mut().zip(o.removed_by_pass) {
+            *a += b;
+        }
+        for (a, b) in self.rewrites_by_pass.iter_mut().zip(o.rewrites_by_pass) {
             *a += b;
         }
     }

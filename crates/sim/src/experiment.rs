@@ -451,6 +451,41 @@ mod tests {
     }
 
     #[test]
+    fn ipc_row_from_empty_results_is_finite() {
+        // Regression: a degenerate run (empty or fully-asserting trace)
+        // retires nothing, so every per-config IPC is 0. The RPO-over-RP
+        // gain must define the 0/0 case as 0.0 — a NaN or inf here leaks
+        // into `replay report --json` as invalid JSON.
+        let w = workloads::by_name("eon").unwrap();
+        let empty = |kind| SimResult {
+            workload: w.name.to_string(),
+            config: kind,
+            cycles: 0,
+            x86_retired: 0,
+            bins: replay_timing::CycleBins::new(),
+            pipeline: replay_timing::PipelineStats::default(),
+            opt_stats: replay_core::OptStats::default(),
+            dyn_uops_total: 0,
+            dyn_uops_removed: 0,
+            dyn_loads_total: 0,
+            dyn_loads_removed: 0,
+            constructor: replay_frame::ConstructorStats::default(),
+            coverage: 0.0,
+            assert_events: 0,
+            path_mismatches: 0,
+            verify: replay_verify::VerifyStats::default(),
+            uop_ratio: 0.0,
+            profile: replay_obs::Profile::new(),
+        };
+        let results: Vec<SimResult> = ConfigKind::ALL.into_iter().map(empty).collect();
+        let row = ipc_row_from(&w, &results);
+        assert_eq!(row.rpo_gain_pct, 0.0, "degenerate gain is defined as 0.0");
+        assert!(row.rpo_gain_pct.is_finite());
+        assert!(row.ipc.iter().all(|v| v.is_finite()));
+        assert!(row.coverage.is_finite() && row.assert_cycle_frac.is_finite());
+    }
+
+    #[test]
     fn removal_averages_compute() {
         let rows = vec![
             RemovalRow {

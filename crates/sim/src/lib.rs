@@ -41,6 +41,7 @@
 
 mod config;
 pub mod experiment;
+mod framestore;
 mod injector;
 pub mod parallel;
 mod result;

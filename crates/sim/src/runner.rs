@@ -9,10 +9,11 @@
 //! a frame-cache hit is a reference-count bump, and frame probes reuse one
 //! [`ExecScratch`] instead of cloning the golden machine state.
 
+use crate::framestore::{frame_key, FrameBundle};
 use crate::{ConfigKind, Injector, SimConfig, SimResult, TraceEntry, TraceFiller};
 use replay_core::{
-    optimize_observed, probe_frame, AliasProfile, ExecScratch, OptFrame, OptStats,
-    OptimizerDatapath, PassId, ProbeOutcome,
+    observe_opt_result, optimize_observed, probe_frame, AliasProfile, ExecScratch, OptFrame,
+    OptStats, OptimizerDatapath, PassId, ProbeOutcome,
 };
 use replay_frame::{CacheEntry, FrameCache, FrameConstructor, RetireEvent};
 use replay_obs::Obs;
@@ -136,6 +137,9 @@ struct Runner<'a> {
     filler: TraceFiller,
     datapath: OptimizerDatapath<CachedFrame>,
     profile: AliasProfile,
+    /// Persistent cache of optimized frames for this `(trace, opt config)`
+    /// pair; present only under RPO when the artifact store is enabled.
+    bundle: Option<FrameBundle>,
     verifier: Verifier,
     opt_stats: OptStats,
     frames_x86: u64,
@@ -169,6 +173,9 @@ impl<'a> Runner<'a> {
             filler: TraceFiller::new(),
             datapath: OptimizerDatapath::new(cfg.datapath),
             profile: AliasProfile::new(),
+            bundle: (cfg.kind == ConfigKind::ReplayOpt)
+                .then(|| FrameBundle::open(trace, &cfg.opt))
+                .flatten(),
             verifier: Verifier::new(),
             opt_stats: OptStats::default(),
             frames_x86: 0,
@@ -269,11 +276,47 @@ impl<'a> Runner<'a> {
         match self.cfg.kind {
             ConfigKind::ReplayOpt => {
                 self.profile_span(frame.x86_count());
-                let (opt, stats) =
-                    optimize_observed(&frame, &self.profile, &self.cfg.opt, &mut self.obs);
+                // The remapped pre-optimization frame is both the
+                // persistent-store key input and the verifier reference;
+                // build it only when one of them will use it, keeping the
+                // store-less, verify-less path allocation-lean.
+                let raw = (self.bundle.is_some() || self.cfg.verify)
+                    .then(|| OptFrame::from_frame(&frame));
+                let cached = match (&self.bundle, &raw) {
+                    (Some(bundle), Some(raw)) => {
+                        let key = frame_key(raw, &self.profile);
+                        Some((key, bundle.get(key)))
+                    }
+                    _ => None,
+                };
+                let (opt, stats) = match cached {
+                    Some((_, Some((opt, stats)))) => {
+                        // Warm hit: the stored result is bit-identical to
+                        // what the passes would produce, so emit exactly
+                        // the deterministic counters a fresh optimization
+                        // would have (wall-time spans excluded) and skip
+                        // the passes entirely.
+                        observe_opt_result(&mut self.obs, &self.cfg.opt, &stats);
+                        (opt, stats)
+                    }
+                    Some((key, None)) => {
+                        let (opt, stats) =
+                            optimize_observed(&frame, &self.profile, &self.cfg.opt, &mut self.obs);
+                        let opt = Arc::new(opt);
+                        if let Some(bundle) = self.bundle.as_mut() {
+                            bundle.insert(key, Arc::clone(&opt), stats);
+                        }
+                        (opt, stats)
+                    }
+                    None => {
+                        let (opt, stats) =
+                            optimize_observed(&frame, &self.profile, &self.cfg.opt, &mut self.obs);
+                        (Arc::new(opt), stats)
+                    }
+                };
                 self.opt_stats += stats;
                 if self.cfg.verify {
-                    let mut raw = OptFrame::from_frame(&frame);
+                    let mut raw = raw.expect("reference frame built when verification is on");
                     raw.compact();
                     self.verifier.check(&raw, &opt, self.injector.golden());
                 }
@@ -281,7 +324,7 @@ impl<'a> Runner<'a> {
                 // pipelined latency (10 cycles per uop).
                 self.datapath.offer(
                     CachedFrame {
-                        opt: Arc::new(opt),
+                        opt,
                         removed_by_pass: stats.removed_by_pass,
                     },
                     frame.orig_uop_count,
@@ -465,6 +508,9 @@ impl<'a> Runner<'a> {
             }
         }
         self.pipeline.finish();
+        if let Some(bundle) = &self.bundle {
+            bundle.persist();
+        }
 
         let pstats = self.pipeline.stats();
         let coverage = if pstats.retired_x86 == 0 {

@@ -18,37 +18,73 @@
 //! the number of distinct keys requested.
 
 use crate::parallel;
-use replay_trace::{Trace, Workload};
+use replay_store::{digest_bytes, Digest64, Store};
+use replay_trace::{read_trace, trace_digest, write_trace, Trace, Workload, FORMAT_VERSION};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Artifact class of persisted workload traces.
+pub(crate) const TRACE_CLASS: &str = "trace";
+
+/// The persistent-store key of one trace segment: everything that
+/// determines the synthesized bytes — the workload specification (which
+/// folds in the generator version), the trace file format version, and
+/// the `(segment, scale)` coordinates.
+fn trace_key(workload: &Workload, segment: usize, scale: usize) -> u64 {
+    let mut d = Digest64::new();
+    d.write_u64(workload.spec_digest());
+    d.write_u32(FORMAT_VERSION);
+    d.write_usize(segment);
+    d.write_usize(scale);
+    d.finish()
+}
 
 /// A memoization key: workload name, segment index, per-segment scale.
 type Key = (&'static str, usize, usize);
 
 /// A process-wide cache of synthesized traces, shared via [`Arc`].
 ///
-/// Most callers want the shared instance from [`TraceStore::global`];
-/// tests construct private stores with [`TraceStore::new`] to observe the
-/// generation counter in isolation.
+/// Most callers want the shared instance from [`TraceStore::global`],
+/// which is additionally backed by the persistent artifact store (when
+/// one is configured): a segment missing from memory is first sought on
+/// disk, and only synthesized — then persisted — if the disk misses too.
+/// Tests construct private stores with [`TraceStore::new`] to observe the
+/// generation counter in isolation, with no disk behind them.
 #[derive(Debug, Default)]
 pub struct TraceStore {
     segments: Mutex<HashMap<Key, Arc<OnceLock<Arc<Trace>>>>>,
     generations: AtomicU64,
     requests: AtomicU64,
+    disk_hits: AtomicU64,
+    disk: Option<&'static Store>,
 }
 
 impl TraceStore {
-    /// Creates an empty store.
+    /// Creates an empty store with no persistent backing.
     pub fn new() -> TraceStore {
         TraceStore::default()
     }
 
+    /// Creates an empty store backed by an explicit persistent artifact
+    /// store (the global instance wires this up automatically; this
+    /// constructor exists for tests that need a private disk directory).
+    pub fn with_disk(disk: &'static Store) -> TraceStore {
+        TraceStore {
+            disk: Some(disk),
+            ..TraceStore::default()
+        }
+    }
+
     /// The shared per-process store used by the experiment drivers and the
-    /// CLI.
+    /// CLI, backed by [`Store::global`] when a cache directory is
+    /// configured.
     pub fn global() -> &'static TraceStore {
         static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
-        GLOBAL.get_or_init(TraceStore::new)
+        GLOBAL.get_or_init(|| TraceStore {
+            disk: Store::global(),
+            ..TraceStore::default()
+        })
     }
 
     /// One memoized trace segment of `scale` dynamic x86 instructions.
@@ -71,11 +107,41 @@ impl TraceStore {
         };
         // Generate outside the map lock so distinct segments synthesize
         // concurrently; the OnceLock serializes same-key racers.
-        cell.get_or_init(|| {
-            self.generations.fetch_add(1, Ordering::Relaxed);
-            Arc::new(workload.segment_trace(segment, scale))
-        })
-        .clone()
+        cell.get_or_init(|| Arc::new(self.load_or_generate(workload, segment, scale)))
+            .clone()
+    }
+
+    /// Fills one memoization cell: persistent store first (when backed),
+    /// synthesis as the fallback. Only actual synthesis bumps the
+    /// generation counter; a disk hit is cached work, not new work.
+    fn load_or_generate(&self, workload: &Workload, segment: usize, scale: usize) -> Trace {
+        let key = trace_key(workload, segment, scale);
+        if let Some(store) = self.disk {
+            if let Some(payload) = store.load(TRACE_CLASS, key) {
+                match read_trace(&payload[..]) {
+                    Ok(trace) => {
+                        // Round-trip gate: the decoded trace must
+                        // serialize back to the exact payload digest, or
+                        // the artifact does not mean what it says.
+                        if trace_digest(&trace).ok() == Some(digest_bytes(&payload)) {
+                            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            return trace;
+                        }
+                        store.evict_corrupt(TRACE_CLASS, key, "re-encode mismatch");
+                    }
+                    Err(e) => store.evict_corrupt(TRACE_CLASS, key, &e.to_string()),
+                }
+            }
+        }
+        self.generations.fetch_add(1, Ordering::Relaxed);
+        let trace = workload.segment_trace(segment, scale);
+        if let Some(store) = self.disk {
+            let mut bytes = Vec::new();
+            if write_trace(&mut bytes, &trace).is_ok() {
+                store.save(TRACE_CLASS, key, &bytes);
+            }
+        }
+        trace
     }
 
     /// All of a workload's segments at the given scale, memoized
@@ -111,6 +177,15 @@ impl TraceStore {
         self.requests.load(Ordering::Relaxed)
     }
 
+    /// How many memoization-cell fills were served by the persistent
+    /// artifact store instead of synthesis. Every first request for a key
+    /// is either a disk hit or a generation, so
+    /// `disk_hits() + generations()` equals the number of distinct keys
+    /// ever filled.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
     /// Records the store's memoization counters into an
     /// [`replay_obs::Obs`] under `tracestore.*`.
     pub fn observe_into(&self, obs: &mut replay_obs::Obs) {
@@ -122,6 +197,7 @@ impl TraceStore {
         obs.counter("tracestore.requests", requests);
         obs.counter("tracestore.generations", generations);
         obs.counter("tracestore.hits", requests.saturating_sub(generations));
+        obs.counter("tracestore.disk_hits", self.disk_hits());
     }
 
     /// Number of distinct `(workload, segment, scale)` keys requested so
@@ -200,6 +276,61 @@ mod tests {
             assert!(Arc::ptr_eq(t, &got[0]));
         }
         assert_eq!(store.generations(), 1, "racers coalesce onto one build");
+    }
+
+    fn scratch_store(tag: &str) -> &'static Store {
+        let dir =
+            std::env::temp_dir().join(format!("replay-tracestore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Box::leak(Box::new(Store::open(dir).expect("scratch store")))
+    }
+
+    #[test]
+    fn disk_backed_store_skips_synthesis_on_warm_fill() {
+        let disk = scratch_store("warm");
+        let w = workloads::by_name("gzip").unwrap();
+
+        let cold = TraceStore::with_disk(disk);
+        let a = cold.segment(&w, 0, 500);
+        assert_eq!(cold.generations(), 1, "cold run synthesizes");
+        assert_eq!(disk.writes(), 1, "…and persists");
+
+        // A fresh in-memory store over the same disk: no synthesis.
+        let warm = TraceStore::with_disk(disk);
+        let b = warm.segment(&w, 0, 500);
+        assert_eq!(warm.generations(), 0, "warm run loads from disk");
+        assert_eq!(warm.disk_hits(), 1, "…the disk hit is counted");
+        assert!(disk.hits() >= 1);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.records(), b.records(), "bit-identical trace");
+    }
+
+    #[test]
+    fn corrupt_trace_artifact_is_evicted_and_regenerated() {
+        let disk = scratch_store("evict");
+        let w = workloads::by_name("gzip").unwrap();
+        TraceStore::with_disk(disk).segment(&w, 0, 400);
+
+        // Truncate the one persisted artifact in place.
+        let entries: Vec<_> = std::fs::read_dir(disk.root())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(entries.len(), 1);
+        let bytes = std::fs::read(&entries[0]).unwrap();
+        std::fs::write(&entries[0], &bytes[..bytes.len() / 2]).unwrap();
+
+        let recovering = TraceStore::with_disk(disk);
+        let t = recovering.segment(&w, 0, 400);
+        assert_eq!(t.len(), 400);
+        assert_eq!(recovering.generations(), 1, "regenerated after eviction");
+        assert_eq!(disk.corrupt_evictions(), 1);
+        assert_eq!(disk.writes(), 2, "repaired artifact re-persisted");
+
+        // And the repaired artifact serves the next fill from disk.
+        let healed = TraceStore::with_disk(disk);
+        healed.segment(&w, 0, 400);
+        assert_eq!(healed.generations(), 0);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The on-disk artifact container: header, key echo, payload checksum.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"RPAS"
+//!      4     4  container schema version (1)
+//!      8     8  class digest (FNV-1a of the artifact class name)
+//!     16     8  key (the content digest the artifact is addressed by)
+//!     24     8  payload length in bytes
+//!     32     8  payload checksum (FNV-1a of the payload bytes)
+//!     40     …  payload
+//! ```
+//!
+//! The class digest and key echo guard against a file renamed or copied
+//! into the wrong slot; the checksum guards against truncation and bit
+//! rot. Decoding never panics — any mismatch is reported as a typed
+//! [`ArtifactError`] so the store can evict and regenerate.
+
+use crate::digest::{digest_bytes, Digest64};
+use crate::wire::Reader;
+use std::fmt;
+
+/// Container magic.
+pub const MAGIC: [u8; 4] = *b"RPAS";
+
+/// Container schema version. Bump on any header layout change; old
+/// containers are then evicted as corrupt and regenerated.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 40;
+
+/// Why an artifact failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// File shorter than the fixed header.
+    Truncated,
+    /// Magic bytes differ.
+    BadMagic([u8; 4]),
+    /// Schema version differs from [`SCHEMA_VERSION`].
+    BadVersion(u32),
+    /// Artifact belongs to a different class (file moved between slots).
+    ClassMismatch {
+        /// Digest stored in the header.
+        found: u64,
+        /// Digest of the class the caller asked for.
+        expected: u64,
+    },
+    /// Key echo differs from the requested key (file renamed).
+    KeyMismatch {
+        /// Key stored in the header.
+        found: u64,
+        /// Key the caller asked for.
+        expected: u64,
+    },
+    /// Announced payload length disagrees with the file size.
+    LengthMismatch {
+        /// Length stored in the header.
+        announced: u64,
+        /// Bytes actually present after the header.
+        present: u64,
+    },
+    /// Payload bytes fail their checksum.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Truncated => write!(f, "truncated header"),
+            ArtifactError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            ArtifactError::BadVersion(v) => {
+                write!(f, "container version {v} (want {SCHEMA_VERSION})")
+            }
+            ArtifactError::ClassMismatch { found, expected } => {
+                write!(f, "class digest {found:#018x} != {expected:#018x}")
+            }
+            ArtifactError::KeyMismatch { found, expected } => {
+                write!(f, "key {found:#018x} != {expected:#018x}")
+            }
+            ArtifactError::LengthMismatch { announced, present } => {
+                write!(f, "payload length {announced} but {present} bytes present")
+            }
+            ArtifactError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Digest of an artifact class name, as stored in the header.
+pub fn class_digest(class: &str) -> u64 {
+    digest_bytes(class.as_bytes())
+}
+
+/// Wraps a payload in the checksummed container.
+pub fn encode(class: &str, key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&class_digest(class).to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&digest_bytes(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a container and returns its payload slice.
+///
+/// Checks, in order: header presence, magic, schema version, class, key
+/// echo, payload length, payload checksum. Tolerates any corruption —
+/// truncated, bit-flipped, or forged input yields an error, never a panic
+/// and never a silently wrong payload.
+pub fn decode<'a>(bytes: &'a [u8], class: &str, key: u64) -> Result<&'a [u8], ArtifactError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ArtifactError::Truncated);
+    }
+    let (header, payload) = bytes.split_at(HEADER_LEN);
+    let mut r = Reader::new(header);
+    let mut magic = [0u8; 4];
+    for m in &mut magic {
+        *m = r.get_u8("magic").expect("header sized above");
+    }
+    if magic != MAGIC {
+        return Err(ArtifactError::BadMagic(magic));
+    }
+    let version = r.get_u32("version").expect("header sized above");
+    if version != SCHEMA_VERSION {
+        return Err(ArtifactError::BadVersion(version));
+    }
+    let found_class = r.get_u64("class").expect("header sized above");
+    let expected_class = class_digest(class);
+    if found_class != expected_class {
+        return Err(ArtifactError::ClassMismatch {
+            found: found_class,
+            expected: expected_class,
+        });
+    }
+    let found_key = r.get_u64("key").expect("header sized above");
+    if found_key != key {
+        return Err(ArtifactError::KeyMismatch {
+            found: found_key,
+            expected: key,
+        });
+    }
+    let announced = r.get_u64("payload length").expect("header sized above");
+    if announced != payload.len() as u64 {
+        return Err(ArtifactError::LengthMismatch {
+            announced,
+            present: payload.len() as u64,
+        });
+    }
+    let checksum = r.get_u64("checksum").expect("header sized above");
+    let mut d = Digest64::new();
+    d.write(payload);
+    if d.finish() != checksum {
+        return Err(ArtifactError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let enc = encode("trace", 0xABCD, b"hello payload");
+        assert_eq!(decode(&enc, "trace", 0xABCD).unwrap(), b"hello payload");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let enc = encode("frames", 7, b"");
+        assert_eq!(decode(&enc, "frames", 7).unwrap(), b"");
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let enc = encode("trace", 1, b"some payload bytes");
+        for cut in 0..enc.len() {
+            assert!(
+                decode(&enc[..cut], "trace", 1).is_err(),
+                "cut at {cut} must not validate"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_detected() {
+        let enc = encode("trace", 1, b"payload under test");
+        for byte in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[byte] ^= 0x10;
+            assert!(
+                decode(&bad, "trace", 1).is_err(),
+                "flip in byte {byte} must not validate"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_class_and_key_rejected() {
+        let enc = encode("trace", 5, b"x");
+        assert!(matches!(
+            decode(&enc, "frames", 5),
+            Err(ArtifactError::ClassMismatch { .. })
+        ));
+        assert!(matches!(
+            decode(&enc, "trace", 6),
+            Err(ArtifactError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_bump_rejected() {
+        let mut enc = encode("trace", 5, b"x");
+        enc[4..8].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            decode(&enc, "trace", 5),
+            Err(ArtifactError::BadVersion(SCHEMA_VERSION + 1))
+        );
+    }
+}

@@ -30,7 +30,11 @@ use replay_x86::{decode, encode, DecodeError};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"RPLT";
-const VERSION: u32 = 1;
+
+/// Version number of the binary trace format. Bumping it invalidates every
+/// previously written trace file (and any on-disk cache keyed on it).
+pub const FORMAT_VERSION: u32 = 1;
+const VERSION: u32 = FORMAT_VERSION;
 
 /// Upper bound on a declared workload-name length. Real names are a few
 /// dozen bytes; anything past this is a corrupt or hostile header, and
@@ -88,16 +92,51 @@ impl From<io::Error> for TraceIoError {
     }
 }
 
+/// Stable 64-bit content digest of a trace: FNV-1a over the exact byte
+/// stream [`write_trace`] produces (so it covers the format version, the
+/// name, the initial architectural state, and every record field).
+///
+/// Two traces digest equal iff their trace files would be byte-identical
+/// — the property the persistent artifact store keys on.
+///
+/// # Errors
+///
+/// Fails only where [`write_trace`] would: a trace the format cannot
+/// represent (e.g. an oversized name) has no well-defined file image to
+/// digest.
+pub fn trace_digest(trace: &Trace) -> Result<u64, TraceIoError> {
+    struct Sink(replay_store::Digest64);
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.write(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut sink = Sink(replay_store::Digest64::new());
+    write_trace(&mut sink, trace)?;
+    Ok(sink.0.finish())
+}
+
 /// Writes a trace in the binary format. A `&mut` reference works as the
 /// writer, e.g. `write_trace(&mut file, &trace)?`.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
-pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+/// Propagates I/O errors from the writer, and rejects traces the format
+/// cannot faithfully represent — a name longer than the reader's
+/// [`OversizedField`](TraceIoError::OversizedField) bound fails *on write*
+/// with the same error, instead of emitting a file [`read_trace`] would
+/// refuse (or, past `u32::MAX`, silently truncating the length field).
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceIoError> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let name = trace.name.as_bytes();
+    if name.len() > MAX_NAME_LEN as usize {
+        return Err(TraceIoError::OversizedField("name", name.len() as u64));
+    }
     w.write_all(&(name.len() as u32).to_le_bytes())?;
     w.write_all(name)?;
     for r in trace.init_regs {
@@ -367,6 +406,29 @@ mod tests {
         buf[count_at..].copy_from_slice(&u64::MAX.to_le_bytes());
         let err = read_trace(&buf[..]).unwrap_err();
         assert!(matches!(err, TraceIoError::Io(_)));
+    }
+
+    #[test]
+    fn oversized_name_rejected_symmetrically_on_write() {
+        // The writer must refuse anything its own reader would reject:
+        // a name one byte past the bound fails on write with the same
+        // typed error read_trace raises, and nothing is written.
+        let long = "x".repeat(MAX_NAME_LEN as usize + 1);
+        let t = Trace::new(long, vec![]);
+        let mut buf = Vec::new();
+        let err = write_trace(&mut buf, &t).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceIoError::OversizedField("name", n) if n == MAX_NAME_LEN as u64 + 1
+        ));
+        assert!(buf.len() <= 8, "no payload may be emitted past the header");
+
+        // A name exactly at the bound round-trips.
+        let t = Trace::new("y".repeat(MAX_NAME_LEN as usize), vec![]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.name.len(), MAX_NAME_LEN as usize);
     }
 
     #[test]

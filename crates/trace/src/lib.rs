@@ -44,7 +44,7 @@ mod stats;
 pub mod workloads;
 
 pub use builder::ProgramBuilder;
-pub use io::{read_trace, write_trace, TraceIoError};
+pub use io::{read_trace, trace_digest, write_trace, TraceIoError, FORMAT_VERSION};
 pub use record::{Trace, TraceRecord};
 pub use stats::{InstClass, TraceStats};
 pub use workloads::{Suite, Workload};

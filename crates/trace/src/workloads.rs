@@ -105,6 +105,13 @@ struct Profile {
     longflow: bool,
 }
 
+/// Version of the synthetic-workload generator. Bump whenever
+/// [`build_program`] or the phrase vocabulary changes the traces a given
+/// [`Workload`] produces: the version participates in every persisted
+/// trace artifact's key, so bumping it invalidates stale cache entries
+/// without touching the artifact container format.
+pub const GENERATOR_VERSION: u32 = 1;
+
 /// A named synthetic workload.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -174,6 +181,36 @@ impl Workload {
         (0..self.segments)
             .map(|s| self.segment_trace(s, per_segment))
             .collect()
+    }
+
+    /// Stable digest of everything that determines this workload's
+    /// generated traces: the generator version and every generation
+    /// parameter (seed, phrase weights, behavioral probabilities — float
+    /// parameters by bit pattern). Two workloads digest equal iff
+    /// [`Workload::segment_trace`] is the same function of
+    /// `(segment, scale)` for both.
+    pub fn spec_digest(&self) -> u64 {
+        let mut d = replay_store::Digest64::new();
+        d.write_u32(GENERATOR_VERSION);
+        d.write_str(self.name);
+        d.write_u8(match self.suite {
+            Suite::SpecInt => 0,
+            Suite::Desktop => 1,
+        });
+        d.write_usize(self.segments);
+        d.write_usize(self.default_segment_len);
+        let p = &self.profile;
+        d.write_u64(p.seed);
+        d.write_usize(p.body_phrases);
+        for w in p.weights {
+            d.write_u32(w);
+        }
+        d.write_f64(p.bias_frac);
+        d.write_f64(p.alias_rate);
+        d.write_bool(p.shared_callees);
+        d.write_f64(p.switch_varied);
+        d.write_bool(p.longflow);
+        d.finish()
     }
 }
 

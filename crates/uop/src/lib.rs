@@ -64,5 +64,5 @@ pub use machine::{ControlEffect, ExecError, MachineState, UopEffect};
 pub use memory::SparseMemory;
 pub use opcode::{Opcode, OpcodeClass};
 pub use reg::{ArchReg, RegSet, NUM_ARCH_REGS};
-pub use semantics::{eval_alu, AluError, AluResult};
+pub use semantics::{eval_alu, eval_alu_with_flags, AluError, AluResult};
 pub use uop::{MemRef, Uop};

@@ -1,6 +1,6 @@
 //! The architectural micro-op machine: registers + flags + memory.
 
-use crate::semantics::{eval_alu, AluError};
+use crate::semantics::{eval_alu, eval_alu_with_flags, AluError};
 use crate::{ArchReg, Flags, Opcode, SparseMemory, Uop, NUM_ARCH_REGS};
 
 /// The control-flow consequence of executing one uop.
@@ -235,7 +235,7 @@ impl MachineState {
                 } else {
                     self.operand_b(u)
                 };
-                let res = eval_alu(op, a, b).map_err(map_alu_err)?;
+                let res = eval_alu_with_flags(op, a, b, self.flags).map_err(map_alu_err)?;
                 let mut reg_write = None;
                 if let Some(dst) = u.dst {
                     self.set_reg(dst, res.value);

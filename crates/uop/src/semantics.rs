@@ -48,17 +48,36 @@ impl std::error::Error for AluError {}
 /// out and define OF on 1-bit shifts (`SHL`: CF xor the result's sign bit;
 /// `SHR`: the operand's original sign bit; `SAR`: cleared), and `Mul` sets
 /// CF=OF exactly when the unsigned 64-bit product does not fit in 32 bits
-/// (the low 32 result bits are signedness-agnostic). Two narrow deviations
-/// remain, both documented in DESIGN.md: a shift by a masked count of zero
-/// recomputes ZF/SF/PF from the unchanged value instead of preserving the
-/// previous flags (this evaluator is stateless), and OF after a multi-bit
-/// shift is cleared where real hardware leaves it undefined.
+/// (the low 32 result bits are signedness-agnostic). One narrow deviation
+/// remains, documented in DESIGN.md: OF after a multi-bit shift is cleared
+/// where real hardware leaves it undefined.
+///
+/// This form is stateless: a shift by a masked count of zero reports
+/// [`Flags::CLEAR`]. Callers that track architectural flags must use
+/// [`eval_alu_with_flags`], which preserves the previous flags in that case
+/// as real x86 does.
 ///
 /// # Errors
 ///
 /// Returns [`AluError::DivideByZero`] for `Div`/`Rem` with `b == 0`, and
 /// [`AluError::NotAlu`] if `op` is not an ALU opcode.
 pub fn eval_alu(op: Opcode, a: u32, b: u32) -> Result<AluResult, AluError> {
+    eval_alu_with_flags(op, a, b, Flags::CLEAR)
+}
+
+/// Evaluates an ALU micro-operation with the incoming architectural flags.
+///
+/// Identical to [`eval_alu`] except that `prev` supplies the flags in effect
+/// before the operation. The only opcodes that read them are the shifts:
+/// on x86 a shift by a masked count of zero is a complete no-op that leaves
+/// every flag untouched, so `Shl`/`Shr`/`Sar` with `b & 31 == 0` return
+/// `prev` unchanged instead of recomputing ZF/SF/PF from the (unchanged)
+/// value.
+///
+/// # Errors
+///
+/// Same as [`eval_alu`].
+pub fn eval_alu_with_flags(op: Opcode, a: u32, b: u32, prev: Flags) -> Result<AluResult, AluError> {
     let r = match op {
         Opcode::Add => AluResult {
             value: a.wrapping_add(b),
@@ -86,41 +105,58 @@ pub fn eval_alu(op: Opcode, a: u32, b: u32) -> Result<AluResult, AluError> {
         },
         Opcode::Shl => {
             let c = b & 31;
-            let v = a.wrapping_shl(c);
-            let mut flags = Flags::from_logic_result(v);
-            if c != 0 {
+            if c == 0 {
+                // A zero-count shift is a complete no-op on x86: the value
+                // and every flag are left untouched.
+                AluResult {
+                    value: a,
+                    flags: prev,
+                }
+            } else {
+                let v = a.wrapping_shl(c);
+                let mut flags = Flags::from_logic_result(v);
                 // CF is the last bit shifted out: bit (32 - c) of the
                 // original operand. OF is defined only for 1-bit shifts,
                 // where it flags a sign change: CF xor the result's MSB.
                 flags.cf = (a >> (32 - c)) & 1 != 0;
                 flags.of = c == 1 && flags.cf != (v & 0x8000_0000 != 0);
+                AluResult { value: v, flags }
             }
-            AluResult { value: v, flags }
         }
         Opcode::Shr => {
             let c = b & 31;
-            let v = a.wrapping_shr(c);
-            let mut flags = Flags::from_logic_result(v);
-            if c != 0 {
+            if c == 0 {
+                AluResult {
+                    value: a,
+                    flags: prev,
+                }
+            } else {
+                let v = a.wrapping_shr(c);
+                let mut flags = Flags::from_logic_result(v);
                 // CF is the last bit shifted out: bit (c - 1) of the
                 // original operand. On a 1-bit SHR, OF is the operand's
                 // original sign bit (the sign necessarily changes to 0).
                 flags.cf = (a >> (c - 1)) & 1 != 0;
                 flags.of = c == 1 && a & 0x8000_0000 != 0;
+                AluResult { value: v, flags }
             }
-            AluResult { value: v, flags }
         }
         Opcode::Sar => {
             let c = b & 31;
-            let v = ((a as i32).wrapping_shr(c)) as u32;
-            let mut flags = Flags::from_logic_result(v);
-            if c != 0 {
+            if c == 0 {
+                AluResult {
+                    value: a,
+                    flags: prev,
+                }
+            } else {
+                let v = ((a as i32).wrapping_shr(c)) as u32;
+                let mut flags = Flags::from_logic_result(v);
                 // CF as for SHR; OF is cleared on 1-bit SAR (the sign is
                 // replicated, so it can never change).
                 flags.cf = (a >> (c - 1)) & 1 != 0;
                 flags.of = false;
+                AluResult { value: v, flags }
             }
-            AluResult { value: v, flags }
         }
         Opcode::Mul => {
             let wide = (a as u64) * (b as u64);
@@ -308,6 +344,36 @@ mod tests {
         assert!(r.flags.of);
         let r = eval_alu(Opcode::Shr, 0x4000_0000, 1).unwrap();
         assert!(!r.flags.of);
+    }
+
+    #[test]
+    fn zero_count_shift_preserves_previous_flags() {
+        let prev = Flags {
+            zf: true,
+            sf: true,
+            cf: true,
+            of: true,
+            pf: true,
+        };
+        for op in [Opcode::Shl, Opcode::Shr, Opcode::Sar] {
+            // An explicit zero count and a count that masks to zero are both
+            // complete no-ops: value and flags pass through untouched.
+            for count in [0, 32, 64] {
+                let r = eval_alu_with_flags(op, 0x8000_0001, count, prev).unwrap();
+                assert_eq!(r.value, 0x8000_0001, "{op:?} by {count} must not move bits");
+                assert_eq!(r.flags, prev, "{op:?} by {count} must preserve flags");
+            }
+            // A nonzero count still recomputes flags from the result.
+            let r = eval_alu_with_flags(op, 0x8000_0001, 1, prev).unwrap();
+            assert_ne!(r.flags, prev, "{op:?} by 1 must write flags");
+        }
+    }
+
+    #[test]
+    fn stateless_eval_alu_reports_clear_on_zero_count_shift() {
+        let r = eval_alu(Opcode::Shl, 0x8000_0001, 0).unwrap();
+        assert_eq!(r.value, 0x8000_0001);
+        assert_eq!(r.flags, Flags::CLEAR, "stateless form passes CLEAR through");
     }
 
     #[test]
