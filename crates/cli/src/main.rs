@@ -8,6 +8,10 @@
 //!                                           simulate one configuration
 //! replay compare <workload|FILE> [-n N]     all four configurations side by side
 //! replay report <workload|FILE> --json FILE emit the structured profile artifact
+//! replay serve [--addr ADDR] [-j N]         TCP simulation service (batching,
+//!                                           backpressure, graceful drain)
+//! replay submit <workload|FILE> [--addr ADDR]
+//!                                           send a request to a running server
 //! replay frames <workload> [-n N] [--top K] inspect the most-optimized frames
 //! replay check [--cases N] [--seed S] [--passes all|pipeline|<list>]
 //!                                           property-check the optimizer
@@ -34,6 +38,8 @@ fn main() -> ExitCode {
         Some("frames") => cmd_frames(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -51,38 +57,56 @@ fn main() -> ExitCode {
     }
 }
 
+/// Word-wraps `text` to `width` columns, prefixing every line with
+/// `indent`. A `[--flag VALUE]` bracket group counts as one word so a
+/// flag is never split from its metavar across lines. Purely cosmetic —
+/// the content comes from [`CmdSpec`].
+fn wrap(text: &str, indent: &str, width: usize) -> String {
+    let mut words: Vec<String> = Vec::new();
+    for piece in text.split_whitespace() {
+        match words.last_mut() {
+            // Re-join an unbalanced bracket group with its continuation.
+            Some(prev) if prev.matches('[').count() > prev.matches(']').count() => {
+                prev.push(' ');
+                prev.push_str(piece);
+            }
+            _ => words.push(piece.to_string()),
+        }
+    }
+    let mut out = String::new();
+    let mut col = 0;
+    for word in words {
+        if col == 0 {
+            out.push_str(indent);
+            col = indent.len();
+        } else if col + 1 + word.len() > width {
+            out.push('\n');
+            out.push_str(indent);
+            out.push_str("  ");
+            col = indent.len() + 2;
+        } else {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(&word);
+        col += word.len();
+    }
+    out
+}
+
 fn print_usage() {
+    println!("replay — Dynamic Optimization of Micro-Operations (HPCA 2003) reproduction\n");
+    println!("USAGE:");
+    // Generated from the same CmdSpecs the parser validates against:
+    // the synopsis line is CmdSpec::usage() minus the "usage: " prefix.
+    for spec in ALL_SPECS {
+        let synopsis = spec.usage();
+        let synopsis = synopsis.strip_prefix("usage: ").unwrap_or(&synopsis);
+        println!("{}", wrap(synopsis, "  ", 78));
+        println!("{}", wrap(spec.about, "      ", 78));
+    }
     println!(
-        "replay — Dynamic Optimization of Micro-Operations (HPCA 2003) reproduction
-
-USAGE:
-  replay workloads                           list the synthetic workload suite
-  replay gen <workload> -o FILE [-n N] [-s SEG]
-                                             generate and save a trace
-  replay sim <workload|FILE> [-c CFG] [-n N] [--verify] [--profile [--timings]]
-                                             simulate one configuration
-                                             (CFG: IC, TC, RP, RPO; default RPO)
-  replay compare <workload|FILE> [-n N] [--jobs N] [--profile [--timings]]
-                                             all four configurations side by side
-  replay report <workload|FILE> [--json FILE] [-n N] [--jobs N] [--timings]
-                                             run all four configurations and emit the
-                                             structured observability profile
-                                             (replay-report/v1 JSON; stdout or FILE)
-  replay bench-parallel [-n N] [--jobs N] [--out FILE]
-                                             time the serial vs parallel experiment
-                                             engine and record BENCH_parallel.json
-  replay frames <workload> [-n N] [--top K]  show the most-optimized frames
-  replay info <workload|FILE> [-n N]         trace statistics (mix, branches, footprint)
-  replay disasm <workload> [-s SEG]          disassemble a workload's program image
-  replay check [--cases N] [--seed S] [--passes all|pipeline|<CSV>]
-               [--corpus DIR] [--entries K] [--jobs N] [--no-shrink]
-                                             differential property check of the
-                                             optimizer; replays tests/corpus/ and
-                                             persists shrunk counterexamples there
-  replay check --faults [--cases N] [--seed S]
-                                             plant known bug species and verify
-                                             the oracle detects every kind
-
+        "
 Parallelism: --jobs/--threads N (or the REPLAY_JOBS environment variable)
 sets the worker count; the default is the machine's available parallelism
 and 1 forces the legacy serial path. Results are identical at any count.
@@ -97,36 +121,100 @@ disables it. Corrupt cache artifacts are evicted and regenerated."
 
 /// One option in a subcommand's vocabulary: every accepted spelling
 /// (without leading dashes; one-character names are `-x` short options)
-/// and whether the option consumes a value.
+/// and the metavar its value is rendered as in usage text (`FILE`, `N`;
+/// empty for boolean flags that consume no value).
 struct FlagSpec {
     names: &'static [&'static str],
-    takes_value: bool,
+    value: &'static str,
+    required: bool,
 }
 
-const fn flag(names: &'static [&'static str], takes_value: bool) -> FlagSpec {
-    FlagSpec { names, takes_value }
+impl FlagSpec {
+    fn takes_value(&self) -> bool {
+        !self.value.is_empty()
+    }
+
+    /// The canonical spelling with dashes: `-n` or `--jobs`.
+    fn dashed(&self) -> String {
+        let canon = self.names[0];
+        if canon.len() == 1 {
+            format!("-{canon}")
+        } else {
+            format!("--{canon}")
+        }
+    }
+}
+
+const fn flag(names: &'static [&'static str], value: &'static str) -> FlagSpec {
+    FlagSpec {
+        names,
+        value,
+        required: false,
+    }
+}
+
+const fn req_flag(names: &'static [&'static str], value: &'static str) -> FlagSpec {
+    FlagSpec {
+        names,
+        value,
+        required: true,
+    }
 }
 
 /// The shared `--jobs N` / `--threads N` / `-j N` worker-count option.
-const JOBS_FLAG: FlagSpec = flag(&["jobs", "threads", "j"], true);
+const JOBS_FLAG: FlagSpec = flag(&["jobs", "threads", "j"], "N");
 
 /// The shared persistent-store options: `--cache-dir DIR` overrides the
 /// default `.replay-cache` artifact directory, `--no-store` disables the
 /// store for this invocation.
-const CACHE_DIR_FLAG: FlagSpec = flag(&["cache-dir"], true);
-const NO_STORE_FLAG: FlagSpec = flag(&["no-store"], false);
+const CACHE_DIR_FLAG: FlagSpec = flag(&["cache-dir"], "DIR");
+const NO_STORE_FLAG: FlagSpec = flag(&["no-store"], "");
 
 /// A subcommand's full option vocabulary. [`Opts::parse`] rejects any
 /// option outside it, naming the valid set — a misspelled flag (`--case`
-/// for `--cases`) is an error, never a silent no-op.
+/// for `--cases`) is an error, never a silent no-op. Usage text (both
+/// the `help` screen and per-command usage errors) is *generated* from
+/// this spec by [`CmdSpec::usage`], so the vocabulary the parser accepts
+/// and the vocabulary the help advertises cannot diverge.
 struct CmdSpec {
     name: &'static str,
+    /// Positional arguments, rendered verbatim: `"<workload|FILE>"`.
+    positional: &'static str,
+    /// One-line description for the `help` screen.
+    about: &'static str,
     flags: &'static [FlagSpec],
 }
 
 impl CmdSpec {
     fn lookup(&self, name: &str) -> Option<&FlagSpec> {
         self.flags.iter().find(|f| f.names.contains(&name))
+    }
+
+    /// The full synopsis, generated from the spec: every flag appears
+    /// under its canonical spelling with its metavar, optional ones in
+    /// brackets. This string *is* the usage error — there is no
+    /// hand-maintained copy to drift out of date.
+    fn usage(&self) -> String {
+        let mut s = format!("usage: replay {}", self.name);
+        if !self.positional.is_empty() {
+            s.push(' ');
+            s.push_str(self.positional);
+        }
+        for f in self.flags {
+            s.push(' ');
+            if !f.required {
+                s.push('[');
+            }
+            s.push_str(&f.dashed());
+            if f.takes_value() {
+                s.push(' ');
+                s.push_str(f.value);
+            }
+            if !f.required {
+                s.push(']');
+            }
+        }
+        s
     }
 
     /// Human-readable rendering of every accepted option, for error
@@ -150,8 +238,9 @@ impl CmdSpec {
                     })
                     .collect();
                 let mut s = spellings.join("/");
-                if f.takes_value {
-                    s.push_str(" VALUE");
+                if f.takes_value() {
+                    s.push(' ');
+                    s.push_str(f.value);
                 }
                 s
             })
@@ -170,85 +259,157 @@ impl CmdSpec {
 
 const SPEC_WORKLOADS: CmdSpec = CmdSpec {
     name: "workloads",
+    positional: "",
+    about: "list the synthetic workload suite (Table 1 of the paper)",
     flags: &[],
 };
 const SPEC_GEN: CmdSpec = CmdSpec {
     name: "gen",
+    positional: "<workload>",
+    about: "generate and save a trace file",
     flags: &[
-        flag(&["o", "out"], true),
-        flag(&["n"], true),
-        flag(&["s"], true),
+        req_flag(&["o", "out"], "FILE"),
+        flag(&["n"], "N"),
+        flag(&["s"], "SEG"),
     ],
 };
 const SPEC_SIM: CmdSpec = CmdSpec {
     name: "sim",
+    positional: "<workload|FILE>",
+    about: "simulate one configuration (CFG: IC, TC, RP, RPO; default RPO)",
     flags: &[
-        flag(&["c"], true),
-        flag(&["n"], true),
-        flag(&["verify"], false),
-        flag(&["profile"], false),
-        flag(&["timings"], false),
+        flag(&["c"], "CFG"),
+        flag(&["n"], "N"),
+        flag(&["verify"], ""),
+        flag(&["profile"], ""),
+        flag(&["timings"], ""),
         CACHE_DIR_FLAG,
         NO_STORE_FLAG,
     ],
 };
 const SPEC_COMPARE: CmdSpec = CmdSpec {
     name: "compare",
+    positional: "<workload|FILE>",
+    about: "all four configurations side by side",
     flags: &[
-        flag(&["n"], true),
+        flag(&["n"], "N"),
         JOBS_FLAG,
-        flag(&["profile"], false),
-        flag(&["timings"], false),
+        flag(&["profile"], ""),
+        flag(&["timings"], ""),
         CACHE_DIR_FLAG,
         NO_STORE_FLAG,
     ],
 };
 const SPEC_BENCH_PARALLEL: CmdSpec = CmdSpec {
     name: "bench-parallel",
+    positional: "",
+    about: "time the serial vs parallel experiment engine, record a JSON artifact",
     flags: &[
-        flag(&["n"], true),
+        flag(&["n"], "N"),
         JOBS_FLAG,
-        flag(&["out", "o"], true),
+        flag(&["out", "o"], "FILE"),
         CACHE_DIR_FLAG,
         NO_STORE_FLAG,
     ],
 };
 const SPEC_FRAMES: CmdSpec = CmdSpec {
     name: "frames",
-    flags: &[flag(&["n"], true), flag(&["top", "t"], true)],
+    positional: "<workload>",
+    about: "show the most-optimized frames",
+    flags: &[flag(&["n"], "N"), flag(&["top", "t"], "K")],
 };
 const SPEC_CHECK: CmdSpec = CmdSpec {
     name: "check",
+    positional: "",
+    about: "differential property check of the optimizer; replays tests/corpus/ \
+            and persists shrunk counterexamples there (--faults: plant known \
+            bug species and verify the oracle detects every kind)",
     flags: &[
-        flag(&["cases"], true),
-        flag(&["seed"], true),
-        flag(&["passes"], true),
-        flag(&["corpus"], true),
-        flag(&["entries"], true),
+        flag(&["cases"], "N"),
+        flag(&["seed"], "S"),
+        flag(&["passes"], "all|pipeline|CSV"),
+        flag(&["corpus"], "DIR"),
+        flag(&["entries"], "K"),
         JOBS_FLAG,
-        flag(&["faults"], false),
-        flag(&["no-shrink"], false),
+        flag(&["faults"], ""),
+        flag(&["no-shrink"], ""),
     ],
 };
 const SPEC_INFO: CmdSpec = CmdSpec {
     name: "info",
-    flags: &[flag(&["n"], true)],
+    positional: "<workload|FILE>",
+    about: "trace statistics (mix, branches, footprint)",
+    flags: &[flag(&["n"], "N")],
 };
 const SPEC_DISASM: CmdSpec = CmdSpec {
     name: "disasm",
-    flags: &[flag(&["s"], true)],
+    positional: "<workload>",
+    about: "disassemble a workload's program image",
+    flags: &[flag(&["s"], "SEG")],
 };
 const SPEC_REPORT: CmdSpec = CmdSpec {
     name: "report",
+    positional: "<workload|FILE>",
+    about: "run all four configurations and emit the structured observability \
+            profile (replay-report/v1 JSON; stdout or FILE)",
     flags: &[
-        flag(&["n"], true),
+        flag(&["n"], "N"),
         JOBS_FLAG,
-        flag(&["json"], true),
-        flag(&["timings"], false),
+        flag(&["json"], "FILE"),
+        flag(&["timings"], ""),
         CACHE_DIR_FLAG,
         NO_STORE_FLAG,
     ],
 };
+
+const SPEC_SERVE: CmdSpec = CmdSpec {
+    name: "serve",
+    positional: "",
+    about: "run the TCP simulation service: batches submitted requests onto the \
+            shared worker pool and answers each with the replay-report/v1 bytes \
+            a local `replay report --json` would produce",
+    flags: &[
+        flag(&["addr"], "ADDR"),
+        JOBS_FLAG,
+        flag(&["conn-queue"], "N"),
+        flag(&["work-queue"], "N"),
+        flag(&["batch-max"], "N"),
+        CACHE_DIR_FLAG,
+        NO_STORE_FLAG,
+    ],
+};
+const SPEC_SUBMIT: CmdSpec = CmdSpec {
+    name: "submit",
+    positional: "<workload|FILE>",
+    about: "submit a simulation request to a running `replay serve` and write \
+            the report it returns (retries overload with seeded backoff)",
+    flags: &[
+        flag(&["addr"], "ADDR"),
+        flag(&["n"], "N"),
+        flag(&["json"], "FILE"),
+        flag(&["timings"], ""),
+        flag(&["retries"], "K"),
+        flag(&["seed"], "S"),
+        flag(&["deadline-ms"], "MS"),
+    ],
+};
+
+/// Every subcommand, in `help` display order. The help screen iterates
+/// this list, so adding a command here is what publishes it.
+const ALL_SPECS: &[&CmdSpec] = &[
+    &SPEC_WORKLOADS,
+    &SPEC_GEN,
+    &SPEC_SIM,
+    &SPEC_COMPARE,
+    &SPEC_REPORT,
+    &SPEC_SERVE,
+    &SPEC_SUBMIT,
+    &SPEC_BENCH_PARALLEL,
+    &SPEC_FRAMES,
+    &SPEC_INFO,
+    &SPEC_DISASM,
+    &SPEC_CHECK,
+];
 
 /// Parsed options: positionals plus a flag lookup, validated against a
 /// [`CmdSpec`].
@@ -274,7 +435,7 @@ impl<'a> Opts<'a> {
                 // Store under the canonical (first) spelling so lookups by
                 // canonical name see every alias.
                 let canon = f.names[0];
-                if f.takes_value {
+                if f.takes_value() {
                     match inline {
                         Some(v) => {
                             flags.push((canon, Some(v)));
@@ -299,7 +460,7 @@ impl<'a> Opts<'a> {
             } else if let Some(name) = a.strip_prefix('-').filter(|n| !n.is_empty()) {
                 let f = spec.lookup(name).ok_or_else(|| spec.unknown(a))?;
                 let canon = f.names[0];
-                if f.takes_value {
+                if f.takes_value() {
                     let v = args
                         .get(i + 1)
                         .map(String::as_str)
@@ -357,7 +518,7 @@ impl<'a> Opts<'a> {
 fn cmd_workloads(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_WORKLOADS)?;
     if !opts.positional.is_empty() {
-        return Err("usage: replay workloads".into());
+        return Err(SPEC_WORKLOADS.usage());
     }
     println!(
         "{:10} {:8} {:>9} {:>14}   (Table 1 of the paper)",
@@ -417,9 +578,11 @@ fn load_trace(source: &str, n: usize, segment: usize) -> Result<Arc<Trace>, Stri
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_GEN)?;
     let [name] = opts.positional[..] else {
-        return Err("usage: replay gen <workload> -o FILE [-n N] [-s SEG]".into());
+        return Err(SPEC_GEN.usage());
     };
-    let out = opts.get("o").ok_or("missing -o FILE")?;
+    let out = opts
+        .get("o")
+        .ok_or_else(|| format!("missing -o FILE ({})", SPEC_GEN.usage()))?;
     let n = opts.count("n", 100_000)?;
     let seg = opts.count("s", 0)?;
     let w = workloads::by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
@@ -444,7 +607,7 @@ fn config_by_label(label: &str) -> Result<ConfigKind, String> {
 fn cmd_sim(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_SIM)?;
     let [source] = opts.positional[..] else {
-        return Err("usage: replay sim <workload|FILE> [-c CFG] [-n N] [--verify]".into());
+        return Err(SPEC_SIM.usage());
     };
     let n = opts.count("n", 30_000)?;
     let kind = config_by_label(opts.get("c").unwrap_or("RPO"))?;
@@ -495,7 +658,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_COMPARE)?;
     let [source] = opts.positional[..] else {
-        return Err("usage: replay compare <workload|FILE> [-n N] [--jobs N]".into());
+        return Err(SPEC_COMPARE.usage());
     };
     let n = opts.count("n", 30_000)?;
     let jobs = opts.jobs()?;
@@ -557,89 +720,20 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds the merged cross-configuration profile for a `report` run: the
-/// per-spec profiles are submitted to a [`replay_obs::Registry`] in
-/// submission (spec) order and merged deterministically. Cache-layer
-/// counters live in the separate `store` section ([`store_profile`]) —
-/// they describe *this process's* cache luck, not the simulated machines,
-/// and folding them in here would break the cold-vs-warm byte identity of
-/// `combined`.
-fn combined_profile(results: &[replay_sim::SimResult]) -> replay_obs::Profile {
-    let registry = replay_obs::Registry::new();
-    for (i, r) in results.iter().enumerate() {
-        registry.submit(i, r.profile.clone());
-    }
-    registry.finish()
-}
-
-/// The cache-effectiveness profile of this process: in-memory trace
-/// memoization (`tracestore.*`) and, when the persistent store is
-/// enabled, on-disk artifact traffic (`store.*`). Deliberately segregated
-/// from the simulation profiles — these counters differ between cold and
-/// warm runs by design.
-fn store_profile() -> replay_obs::Profile {
-    let mut obs = replay_obs::Obs::collecting();
-    TraceStore::global().observe_into(&mut obs);
-    if let Some(store) = replay_store::Store::global() {
-        store.observe_into(&mut obs);
-    }
-    obs.into_profile()
-}
-
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_REPORT)?;
     let [source] = opts.positional[..] else {
-        return Err(
-            "usage: replay report <workload|FILE> [--json FILE] [-n N] [--jobs N] [--timings]"
-                .into(),
-        );
+        return Err(SPEC_REPORT.usage());
     };
     let n = opts.count("n", 30_000)?;
     let jobs = opts.jobs()?;
     let timings = opts.has("timings");
     configure_store(&opts);
     let trace = load_trace(source, n, 0)?;
-    let specs: Vec<SimSpec> = ConfigKind::ALL
-        .into_iter()
-        .map(|kind| SimSpec {
-            name: trace.name.clone(),
-            traces: vec![Arc::clone(&trace)],
-            cfg: SimConfig::new(kind).without_verify(),
-        })
-        .collect();
-    let results = experiment::run_specs(&specs, jobs);
-
-    // Stable machine-readable schema: per-configuration profiles plus the
-    // deterministic cross-configuration merge. Worker count and wall time
-    // are intentionally absent (unless --timings) so the artifact is
-    // byte-identical run to run at any --jobs.
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"replay-report/v1\",\n");
-    json.push_str(&format!("  \"workload\": \"{}\",\n", trace.name));
-    json.push_str(&format!("  \"scale\": {},\n", trace.len()));
-    json.push_str("  \"configs\": {\n");
-    for (i, (kind, r)) in ConfigKind::ALL.into_iter().zip(&results).enumerate() {
-        if i > 0 {
-            json.push_str(",\n");
-        }
-        json.push_str(&format!(
-            "    \"{}\": {}",
-            kind.label(),
-            r.profile.to_json(timings)
-        ));
-    }
-    json.push_str("\n  },\n");
-    json.push_str(&format!(
-        "  \"combined\": {},\n",
-        combined_profile(&results).to_json(timings)
-    ));
-    // The one intentionally non-reproducible section: cache effectiveness
-    // for this process (zero hits on a cold run, nonzero on a warm one).
-    // Consumers comparing reports should strip it first.
-    json.push_str(&format!(
-        "  \"store\": {}\n}}\n",
-        store_profile().to_json(timings)
-    ));
+    // The artifact renderer is shared with `replay serve` (replay-sim's
+    // report module) — a served response is byte-identical to this local
+    // run because both are this one code path.
+    let (results, json) = replay_sim::report::run_report(&trace, jobs, timings);
 
     match opts.get("json") {
         Some(path) => {
@@ -666,6 +760,96 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &SPEC_SERVE)?;
+    if !opts.positional.is_empty() {
+        return Err(SPEC_SERVE.usage());
+    }
+    configure_store(&opts);
+    let addr = opts.get("addr").unwrap_or(replay_serve::DEFAULT_ADDR);
+    let mut cfg = replay_serve::ServerConfig {
+        jobs: opts.jobs()?,
+        ..replay_serve::ServerConfig::default()
+    };
+    if let Some(n) = opts.get("conn-queue") {
+        cfg.conn_queue = n
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("bad --conn-queue value {n:?}"))?;
+    }
+    if let Some(n) = opts.get("work-queue") {
+        cfg.work_queue = n
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("bad --work-queue value {n:?}"))?;
+    }
+    if let Some(n) = opts.get("batch-max") {
+        cfg.batch_max = n
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("bad --batch-max value {n:?}"))?;
+    }
+    replay_serve::signal::install();
+    let jobs = cfg.jobs;
+    let server =
+        replay_serve::Server::bind(addr, cfg).map_err(|e| format!("binding {addr:?}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!("replay-serve listening on {bound} ({jobs} workers; SIGTERM/ctrl-c drains)");
+    let stats = server.run();
+    println!("drained; serve metrics:");
+    print!("{}", stats.profile.render_table(false));
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &SPEC_SUBMIT)?;
+    let [source] = opts.positional[..] else {
+        return Err(SPEC_SUBMIT.usage());
+    };
+    let n = opts.count("n", 30_000)?;
+    // A known workload name travels as a name (the server synthesizes the
+    // trace through its warm TraceStore); anything else must be a trace
+    // file, which travels inline.
+    let req_source = if workloads::by_name(source).is_some() {
+        replay_serve::Source::Workload(source.to_string())
+    } else {
+        let bytes = std::fs::read(source)
+            .map_err(|e| format!("no workload or trace file {source:?}: {e}"))?;
+        replay_serve::Source::TraceBytes(bytes)
+    };
+    let req = replay_serve::Request {
+        source: req_source,
+        scale: n as u64,
+        timings: opts.has("timings"),
+        deadline_ms: opts.count("deadline-ms", 0)? as u64,
+    };
+    let addr = opts
+        .get("addr")
+        .unwrap_or(replay_serve::DEFAULT_ADDR)
+        .to_string();
+    let mut cfg = replay_serve::ClientConfig {
+        addr: addr.clone(),
+        ..replay_serve::ClientConfig::default()
+    };
+    cfg.retries = opts.count("retries", cfg.retries as usize)? as u32;
+    cfg.seed = opts.count("seed", cfg.seed as usize)? as u64;
+    let mut client = replay_serve::Client::new(cfg);
+    let resp = client.submit(&req).map_err(|e| e.to_string())?;
+    let body = String::from_utf8(resp.body)
+        .map_err(|_| "server returned a non-UTF-8 report body".to_string())?;
+    match opts.get("json") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("writing {path:?}: {e}"))?;
+            println!("wrote {path} ({} bytes from {addr})", body.len());
+        }
+        None => print!("{body}"),
+    }
+    Ok(())
+}
+
 /// Formats an `f64` as a JSON number (Rust's shortest-roundtrip `{:?}`
 /// output is valid JSON for every finite value).
 fn json_f64(v: f64) -> String {
@@ -679,7 +863,7 @@ fn json_f64(v: f64) -> String {
 fn cmd_bench_parallel(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_BENCH_PARALLEL)?;
     if !opts.positional.is_empty() {
-        return Err("usage: replay bench-parallel [-n N] [--jobs N] [--out FILE]".into());
+        return Err(SPEC_BENCH_PARALLEL.usage());
     }
     let scale = opts.count("n", 6_000)?;
     let jobs = opts.jobs()?;
@@ -784,7 +968,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 
     let opts = Opts::parse(args, &SPEC_CHECK)?;
     if !opts.positional.is_empty() {
-        return Err("usage: replay check [--cases N] [--seed S] [--passes P] [--faults]".into());
+        return Err(SPEC_CHECK.usage());
     }
     let cases = match opts.get("cases") {
         Some(v) => v
@@ -888,7 +1072,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_INFO)?;
     let [source] = opts.positional[..] else {
-        return Err("usage: replay info <workload|FILE> [-n N]".into());
+        return Err(SPEC_INFO.usage());
     };
     let n = opts.count("n", 30_000)?;
     let trace = load_trace(source, n, 0)?;
@@ -900,7 +1084,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn cmd_disasm(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_DISASM)?;
     let [name] = opts.positional[..] else {
-        return Err("usage: replay disasm <workload> [-s SEG]".into());
+        return Err(SPEC_DISASM.usage());
     };
     let seg = opts.count("s", 0)?;
     let w = workloads::by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
@@ -917,7 +1101,7 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
 fn cmd_frames(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_FRAMES)?;
     let [name] = opts.positional[..] else {
-        return Err("usage: replay frames <workload> [-n N] [--top K]".into());
+        return Err(SPEC_FRAMES.usage());
     };
     let n = opts.count("n", 20_000)?;
     let top = opts.count("top", 3)?;
@@ -1031,6 +1215,8 @@ mod tests {
             &SPEC_INFO,
             &SPEC_DISASM,
             &SPEC_REPORT,
+            &SPEC_SERVE,
+            &SPEC_SUBMIT,
         ] {
             let args = argv(&["--definitely-not-a-flag"]);
             let err = Opts::parse(&args, spec).unwrap_err();
@@ -1039,6 +1225,71 @@ mod tests {
                 "{}: {err}",
                 spec.name
             );
+        }
+    }
+
+    #[test]
+    fn usage_lines_advertise_every_spec_flag() {
+        // Usage text is generated from the same spec the parser validates
+        // against, so every flag the parser accepts must be advertised —
+        // the drift where `replay compare` errors omitted --profile/
+        // --timings/--cache-dir/--no-store cannot recur.
+        for spec in ALL_SPECS {
+            let usage = spec.usage();
+            assert!(
+                usage.starts_with(&format!("usage: replay {}", spec.name)),
+                "{usage}"
+            );
+            for f in spec.flags {
+                assert!(
+                    usage.contains(&f.dashed()),
+                    "replay {}: flag {} missing from usage {usage:?}",
+                    spec.name,
+                    f.dashed()
+                );
+                if f.takes_value() {
+                    assert!(
+                        usage.contains(&format!("{} {}", f.dashed(), f.value)),
+                        "replay {}: metavar for {} missing from {usage:?}",
+                        spec.name,
+                        f.dashed()
+                    );
+                }
+            }
+            assert!(!spec.about.is_empty(), "replay {} has no about", spec.name);
+        }
+    }
+
+    #[test]
+    fn all_specs_is_complete() {
+        // Every SPEC_* constant must be published in ALL_SPECS (the help
+        // screen and the usage test above iterate it).
+        let names: Vec<&str> = ALL_SPECS.iter().map(|s| s.name).collect();
+        for expect in [
+            "workloads",
+            "gen",
+            "sim",
+            "compare",
+            "report",
+            "serve",
+            "submit",
+            "bench-parallel",
+            "frames",
+            "info",
+            "disasm",
+            "check",
+        ] {
+            assert!(names.contains(&expect), "{expect} missing from ALL_SPECS");
+        }
+    }
+
+    #[test]
+    fn compare_usage_advertises_store_and_profile_flags() {
+        // The specific drift this guards against: the hand-written compare
+        // usage string said only `[-n N] [--jobs N]`.
+        let u = SPEC_COMPARE.usage();
+        for want in ["--profile", "--timings", "--cache-dir DIR", "--no-store"] {
+            assert!(u.contains(want), "{want} not in {u:?}");
         }
     }
 

@@ -275,9 +275,10 @@ pub fn probe_frame(frame: &OptFrame, m: &MachineState, scratch: &mut ExecScratch
                         None => u.imm as u32,
                     }
                 };
-                // Shifts that may see a zero masked count carry a flags
-                // dependency (set at rename time): a zero-count shift
-                // passes the previous flags through unchanged.
+                // Shifts carry a flags dependency (set at rename time)
+                // unless the count is a literal 1: a zero masked count
+                // passes every previous flag through unchanged, and a
+                // multi-bit count carries the previous OF through.
                 let prev = match u.flags_src {
                     Some(fs) => read_flags(m, flag_results, fs),
                     None => Flags::CLEAR,

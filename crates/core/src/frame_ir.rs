@@ -68,13 +68,16 @@ impl OptFrame {
 
         for (i, u) in frame.uops.iter().enumerate() {
             let lookup = |r: Option<ArchReg>| r.map(|r| rename[r.index()]);
-            // Shifts whose masked count may be zero at runtime pass the
-            // previous flags through unchanged (x86 no-op semantics), so
-            // they are flags *readers* as well as writers. An immediate
-            // count that masks to nonzero can never preserve flags.
+            // Shifts preserve prior flag state in two cases and are then
+            // flags *readers* as well as writers: a masked count of zero
+            // passes every flag through (x86 no-op semantics), and a
+            // masked count greater than one carries the prior OF through
+            // (architecturally undefined, modeled as preserved). Only an
+            // immediate count that masks to exactly 1 fully defines the
+            // output flags from the operands alone.
             let shift_may_preserve = u.writes_flags
                 && matches!(u.op, Opcode::Shl | Opcode::Shr | Opcode::Sar)
-                && (u.src_b.is_some() || (u.imm as u32) & 31 == 0);
+                && (u.src_b.is_some() || (u.imm as u32) & 31 != 1);
             let reads_flags = matches!(u.op, Opcode::Br | Opcode::Assert) || shift_may_preserve;
             let opt = OptUop {
                 op: u.op,

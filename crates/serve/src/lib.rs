@@ -1,0 +1,55 @@
+//! # replay-serve
+//!
+//! A zero-external-dependency TCP simulation service for the rePLay
+//! reproduction: `replay serve` turns one process into a shared
+//! simulation endpoint, and `replay submit` sends it work.
+//!
+//! A request — a workload name or an inline trace file, plus a scale —
+//! is answered with the exact bytes `replay report --json` would produce
+//! locally: the server dispatches every batch through the same
+//! [`replay_sim::report`] renderer and the same deterministic worker
+//! pool, so the response is byte-identical to a local run at any
+//! `--jobs` count, cold or warm (after stripping the intentionally
+//! non-reproducible `store` section — see
+//! [`replay_sim::report::strip_store_section`]).
+//!
+//! The robustness story, end to end:
+//!
+//! - **Bounded queues, typed shedding** — the accept and work queues are
+//!   bounded; a full queue answers [`proto::Status::Overloaded`] with a
+//!   retry hint instead of hanging the connection ([`queue`]).
+//! - **Batching with deduplication** — the dispatcher collects requests
+//!   into batches, deduplicates identical ones (one simulation, many
+//!   responses), and submits each batch as a single worker-pool run
+//!   ([`server`]).
+//! - **Deadlines** — a request that sat queued past its deadline is
+//!   answered [`proto::Status::DeadlineExceeded`], not simulated for
+//!   nobody.
+//! - **Seeded-backoff client** — [`client::Client`] retries retryable
+//!   failures with exponential backoff whose jitter comes from a seeded
+//!   [`replay_rng::SmallRng`], so retry schedules are reproducible under
+//!   test.
+//! - **Graceful drain** — SIGTERM/ctrl-c ([`signal`]) or the programmatic
+//!   flag stops accepting immediately, then every accepted connection is
+//!   parsed, simulated, and answered before [`Server::run`] returns.
+//! - **Observability** — queue depths, batch sizes, shed/deadline/retry
+//!   counts, and per-request latency land in a [`replay_obs::Profile`]
+//!   returned from [`Server::run`].
+//!
+//! The wire format ([`proto`]) reuses `replay-store`'s little-endian
+//! codec and FNV-1a [`replay_store::Digest64`] for request keys and
+//! payload checksums: length-prefixed frames, magic + version header,
+//! checksum trailer, total (panic-free) decoding.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use client::{Client, ClientConfig, ClientError, DEFAULT_ADDR};
+pub use proto::{Request, Response, Source, Status};
+pub use server::{ServeStats, Server, ServerConfig};

@@ -1,0 +1,499 @@
+//! The `replay-serve` wire protocol.
+//!
+//! Every message is one length-prefixed frame on the TCP stream:
+//!
+//! ```text
+//! [len: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! and every payload reuses `replay-store`'s little-endian [`Writer`] /
+//! [`Reader`] codec, opens with a magic + version header, and closes with
+//! a trailing FNV-1a checksum of everything before it ([`Digest64`], the
+//! same digest the artifact store keys on). The reader side is total:
+//! any malformed input — truncation, a bad tag, a checksum mismatch — is
+//! a [`WireError`], never a panic, because peers may send anything.
+//!
+//! A request names either a synthetic workload (by name) or ships a
+//! trace file's bytes inline (with their own content digest, which the
+//! server also uses as a warm-start cache key). The response carries a
+//! typed [`Status`] — overload and shutdown are *data*, not dropped
+//! connections — plus the exact `replay report --json` bytes on success.
+
+use replay_store::{digest_bytes, Digest64, Reader, WireError, Writer};
+use std::io::{self, Read, Write};
+
+/// Frame/payload magic: `b"RSV1"` little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"RSV1");
+
+/// Protocol version. Bump on any incompatible payload change.
+pub const VERSION: u16 = 1;
+
+/// Hard ceiling on one frame's payload, request or response (64 MiB).
+/// A length prefix above this is rejected before any allocation.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Writes one `[len][payload]` frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one `[len][payload]` frame, rejecting oversized lengths before
+/// allocating.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// What to simulate: a named synthetic workload (the server synthesizes
+/// or warm-loads the trace via its `TraceStore`), or a trace file shipped
+/// inline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// A workload from the synthetic suite, by name.
+    Workload(String),
+    /// Raw `replay gen` trace-file bytes.
+    TraceBytes(Vec<u8>),
+}
+
+/// One simulation request: run all four configurations at `scale` and
+/// return the `replay-report/v1` JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The trace to simulate.
+    pub source: Source,
+    /// Dynamic x86 instruction count (the CLI's `-n`).
+    pub scale: u64,
+    /// Include wall-time metrics (breaks byte-reproducibility; off for
+    /// identity-checked runs).
+    pub timings: bool,
+    /// Per-request deadline in milliseconds; 0 means the server default.
+    /// A request older than its deadline when dispatch begins is answered
+    /// with [`Status::DeadlineExceeded`] instead of being simulated.
+    pub deadline_ms: u64,
+}
+
+impl Request {
+    /// The request's content key: identical requests digest identically,
+    /// which is what batch-local deduplication and the server's inline-
+    /// trace cache key on. Inline traces contribute their content digest,
+    /// not their bytes, so the key is cheap to compare.
+    pub fn key(&self) -> u64 {
+        let mut d = Digest64::new();
+        d.write_str("replay-serve/request");
+        match &self.source {
+            Source::Workload(name) => {
+                d.write_u8(0);
+                d.write_str(name);
+            }
+            Source::TraceBytes(bytes) => {
+                d.write_u8(1);
+                d.write_u64(digest_bytes(bytes));
+            }
+        }
+        d.write_u64(self.scale);
+        d.write_bool(self.timings);
+        d.finish()
+    }
+
+    /// Encodes the request payload (checksummed; framing is separate).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(MSG_REQUEST);
+        match &self.source {
+            Source::Workload(name) => {
+                w.put_u8(0);
+                put_str(&mut w, name);
+            }
+            Source::TraceBytes(bytes) => {
+                w.put_u8(1);
+                w.put_u32(bytes.len() as u32);
+                w.put_bytes(bytes);
+                // Content digest so a flipped bit in transit is caught
+                // here, with a precise error, not deep in trace decoding.
+                w.put_u64(digest_bytes(bytes));
+            }
+        }
+        w.put_u64(self.scale);
+        w.put_u8(self.timings as u8);
+        w.put_u64(self.deadline_ms);
+        seal(w)
+    }
+
+    /// Decodes and validates a request payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = open(payload, MSG_REQUEST)?;
+        let source = match r.get_u8("source tag")? {
+            0 => Source::Workload(get_str(&mut r, "workload name")?),
+            1 => {
+                let n = r.get_len("trace bytes", 1)?;
+                let bytes = r.get_bytes(n, "trace bytes")?.to_vec();
+                let digest = r.get_u64("trace digest")?;
+                if digest_bytes(&bytes) != digest {
+                    return Err(WireError::BadTag {
+                        what: "trace digest",
+                        value: digest,
+                    });
+                }
+                Source::TraceBytes(bytes)
+            }
+            t => {
+                return Err(WireError::BadTag {
+                    what: "source tag",
+                    value: t as u64,
+                })
+            }
+        };
+        let scale = r.get_u64("scale")?;
+        let timings = r.get_u8("timings")? != 0;
+        let deadline_ms = r.get_u64("deadline")?;
+        r.finish()?;
+        Ok(Request {
+            source,
+            scale,
+            timings,
+            deadline_ms,
+        })
+    }
+}
+
+/// Typed response status. Rejections are data the client can act on:
+/// [`Status::is_retryable`] drives the backoff loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The body holds the report JSON.
+    Ok,
+    /// A bounded queue was full; retry after the hinted delay.
+    Overloaded,
+    /// The request was malformed or named an unknown workload.
+    BadRequest,
+    /// The request sat queued past its deadline and was shed unserved.
+    DeadlineExceeded,
+    /// The server is draining and accepts no new work; retry elsewhere
+    /// or after the hinted delay.
+    ShuttingDown,
+    /// The server failed internally; the message says how.
+    Internal,
+}
+
+impl Status {
+    /// Whether a client should retry (with backoff) on this status.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Status::Overloaded | Status::ShuttingDown)
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Overloaded => 1,
+            Status::BadRequest => 2,
+            Status::DeadlineExceeded => 3,
+            Status::ShuttingDown => 4,
+            Status::Internal => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Status, WireError> {
+        Ok(match v {
+            0 => Status::Ok,
+            1 => Status::Overloaded,
+            2 => Status::BadRequest,
+            3 => Status::DeadlineExceeded,
+            4 => Status::ShuttingDown,
+            5 => Status::Internal,
+            t => {
+                return Err(WireError::BadTag {
+                    what: "status",
+                    value: t as u64,
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Status::Ok => "ok",
+            Status::Overloaded => "overloaded",
+            Status::BadRequest => "bad request",
+            Status::DeadlineExceeded => "deadline exceeded",
+            Status::ShuttingDown => "shutting down",
+            Status::Internal => "internal error",
+        })
+    }
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Outcome.
+    pub status: Status,
+    /// Human-readable detail for non-Ok statuses (empty on Ok).
+    pub message: String,
+    /// Backoff hint in milliseconds for retryable statuses (0 = client's
+    /// choice).
+    pub retry_after_ms: u64,
+    /// The `replay report --json` bytes on Ok; empty otherwise.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A success response carrying the report bytes.
+    pub fn ok(body: Vec<u8>) -> Response {
+        Response {
+            status: Status::Ok,
+            message: String::new(),
+            retry_after_ms: 0,
+            body,
+        }
+    }
+
+    /// A rejection with a detail message.
+    pub fn reject(status: Status, message: impl Into<String>) -> Response {
+        Response {
+            status,
+            message: message.into(),
+            retry_after_ms: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// Sets the retry hint.
+    pub fn with_retry_after(mut self, ms: u64) -> Response {
+        self.retry_after_ms = ms;
+        self
+    }
+
+    /// Encodes the response payload (checksummed; framing is separate).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(MSG_RESPONSE);
+        w.put_u8(self.status.to_u8());
+        put_str(&mut w, &self.message);
+        w.put_u64(self.retry_after_ms);
+        w.put_u32(self.body.len() as u32);
+        w.put_bytes(&self.body);
+        w.put_u64(digest_bytes(&self.body));
+        seal(w)
+    }
+
+    /// Decodes and validates a response payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = open(payload, MSG_RESPONSE)?;
+        let status = Status::from_u8(r.get_u8("status")?)?;
+        let message = get_str(&mut r, "message")?;
+        let retry_after_ms = r.get_u64("retry hint")?;
+        let n = r.get_len("body", 1)?;
+        let body = r.get_bytes(n, "body")?.to_vec();
+        let digest = r.get_u64("body digest")?;
+        if digest_bytes(&body) != digest {
+            return Err(WireError::BadTag {
+                what: "body digest",
+                value: digest,
+            });
+        }
+        r.finish()?;
+        Ok(Response {
+            status,
+            message,
+            retry_after_ms,
+            body,
+        })
+    }
+}
+
+const MSG_REQUEST: u8 = 1;
+const MSG_RESPONSE: u8 = 2;
+
+fn put_str(w: &mut Writer, s: &str) {
+    w.put_u32(s.len() as u32);
+    w.put_bytes(s.as_bytes());
+}
+
+fn get_str(r: &mut Reader, what: &'static str) -> Result<String, WireError> {
+    let n = r.get_len(what, 1)?;
+    let bytes = r.get_bytes(n, what)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadTag {
+        what,
+        value: u64::MAX,
+    })
+}
+
+/// Appends the whole-payload checksum.
+fn seal(w: Writer) -> Vec<u8> {
+    let mut body = w.into_bytes();
+    let checksum = digest_bytes(&body);
+    body.extend_from_slice(&checksum.to_le_bytes());
+    body
+}
+
+/// Verifies magic, version, kind, and the trailing checksum; returns a
+/// reader positioned after the header, covering everything before the
+/// checksum.
+fn open<'a>(payload: &'a [u8], expect_kind: u8) -> Result<Reader<'a>, WireError> {
+    if payload.len() < 8 {
+        return Err(WireError::UnexpectedEof { what: "payload" });
+    }
+    let (body, tail) = payload.split_at(payload.len() - 8);
+    let mut checksum_bytes = [0u8; 8];
+    checksum_bytes.copy_from_slice(tail);
+    if digest_bytes(body) != u64::from_le_bytes(checksum_bytes) {
+        return Err(WireError::BadTag {
+            what: "payload checksum",
+            value: u64::from_le_bytes(checksum_bytes),
+        });
+    }
+    let mut r = Reader::new(body);
+    let magic = r.get_u32("magic")?;
+    if magic != MAGIC {
+        return Err(WireError::BadTag {
+            what: "magic",
+            value: magic as u64,
+        });
+    }
+    let version = r.get_u16("version")?;
+    if version != VERSION {
+        return Err(WireError::BadTag {
+            what: "version",
+            value: version as u64,
+        });
+    }
+    let kind = r.get_u8("message kind")?;
+    if kind != expect_kind {
+        return Err(WireError::BadTag {
+            what: "message kind",
+            value: kind as u64,
+        });
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_both_sources() {
+        let named = Request {
+            source: Source::Workload("gzip".into()),
+            scale: 30_000,
+            timings: false,
+            deadline_ms: 0,
+        };
+        assert_eq!(Request::decode(&named.encode()).unwrap(), named);
+        let inline = Request {
+            source: Source::TraceBytes(vec![1, 2, 3, 4, 5]),
+            scale: 100,
+            timings: true,
+            deadline_ms: 2_500,
+        };
+        assert_eq!(Request::decode(&inline.encode()).unwrap(), inline);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let ok = Response::ok(b"{\"schema\":\"replay-report/v1\"}".to_vec());
+        assert_eq!(Response::decode(&ok.encode()).unwrap(), ok);
+        let shed = Response::reject(Status::Overloaded, "queue full").with_retry_after(40);
+        let back = Response::decode(&shed.encode()).unwrap();
+        assert_eq!(back.status, Status::Overloaded);
+        assert_eq!(back.retry_after_ms, 40);
+        assert!(back.status.is_retryable());
+        assert!(!Status::BadRequest.is_retryable());
+        assert!(Status::ShuttingDown.is_retryable());
+    }
+
+    #[test]
+    fn corruption_is_an_error_not_a_panic() {
+        let mut bytes = Request {
+            source: Source::Workload("gzip".into()),
+            scale: 1,
+            timings: false,
+            deadline_ms: 0,
+        }
+        .encode();
+        // Flip one bit anywhere: the payload checksum catches it.
+        bytes[9] ^= 0x40;
+        assert!(Request::decode(&bytes).is_err());
+        // Truncation at every prefix length must error, never panic.
+        let good = Response::ok(vec![7; 32]).encode();
+        for cut in 0..good.len() {
+            assert!(Response::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn inline_trace_digest_mismatch_rejected() {
+        let req = Request {
+            source: Source::TraceBytes(vec![9; 64]),
+            scale: 10,
+            timings: false,
+            deadline_ms: 0,
+        };
+        let mut bytes = req.encode();
+        // Corrupt a trace byte AND fix up the outer checksum, leaving the
+        // inner content digest stale — the layered check still catches it.
+        let body_len = bytes.len() - 8;
+        bytes[20] ^= 1;
+        let fixed = digest_bytes(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&fixed);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::BadTag {
+                what: "trace digest",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn request_key_distinguishes_what_matters() {
+        let base = Request {
+            source: Source::Workload("gzip".into()),
+            scale: 1000,
+            timings: false,
+            deadline_ms: 0,
+        };
+        let mut other = base.clone();
+        assert_eq!(base.key(), other.key());
+        other.deadline_ms = 99; // deadlines do not affect identity
+        assert_eq!(base.key(), other.key());
+        other.scale = 2000;
+        assert_ne!(base.key(), other.key());
+        let mut named = base.clone();
+        named.source = Source::Workload("eon".into());
+        assert_ne!(base.key(), named.key());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let payload = vec![0xAB; 1024];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let back = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(back, payload);
+        // An adversarial length prefix is rejected before allocation.
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! A bounded MPMC queue with explicit shedding semantics.
+//!
+//! The server's backpressure story is built on two of these: a full queue
+//! *rejects* the push (so the caller can answer [`Overloaded`] instead of
+//! hanging the connection), and a closed queue drains — consumers keep
+//! popping until it is empty, which is exactly the graceful-shutdown
+//! contract (in-flight work completes; only new work is refused).
+//!
+//! [`Overloaded`]: crate::proto::Status::Overloaded
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity: shed the item (the value comes back so
+    /// the caller can still respond on its connection).
+    Full(T),
+    /// The queue was closed: no new work is accepted.
+    Closed(T),
+}
+
+/// Outcome of a potentially-waiting pop.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// An item.
+    Item(T),
+    /// The wait elapsed with nothing available (queue still open).
+    Empty,
+    /// Closed *and* drained — the consumer is done.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. All methods are `&self`; share it via `Arc`.
+pub struct Bounded<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `cap` items (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking push: `Err(Full)` when at capacity — the caller sheds.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pushes fail from now on, pops drain what remains.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Blocking pop: waits for an item; returns [`Pop::Closed`] once the
+    /// queue is closed *and* empty (never [`Pop::Empty`]).
+    pub fn pop(&self) -> Pop<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if s.closed {
+                return Pop::Closed;
+            }
+            s = self.available.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Pop with a wait bounded by `timeout`: [`Pop::Empty`] if nothing
+    /// arrived in time.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if s.closed {
+                return Pop::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Pop::Empty;
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(s, deadline - now)
+                .expect("queue poisoned");
+            s = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn closed_queue_drains_then_reports_closed() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert!(matches!(q.pop(), Pop::Item(1)));
+        assert!(matches!(q.pop(), Pop::Item(2)));
+        assert!(matches!(q.pop(), Pop::Closed));
+    }
+
+    #[test]
+    fn pop_timeout_reports_empty_on_an_open_queue() {
+        let q: Bounded<u32> = Bounded::new(1);
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(5)),
+            Pop::Empty
+        ));
+    }
+
+    #[test]
+    fn pop_wakes_on_cross_thread_push() {
+        let q = Arc::new(Bounded::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || match q2.pop() {
+            Pop::Item(v) => v,
+            other => panic!("unexpected {other:?}"),
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        q.try_push(42u32).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

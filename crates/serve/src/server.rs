@@ -1,0 +1,425 @@
+//! The serving loop: bounded accept → parse → batch → simulate → respond.
+//!
+//! ```text
+//!              conn queue (bounded)        work queue (bounded)
+//! accept ──►  [TcpStream, ...]  ──parse──► [Job, ...] ──batch──► run_specs
+//!    │shed: Overloaded            │shed: Overloaded │               │
+//!    ▼                            ▼                 ▼               ▼
+//!  respond                     respond       DeadlineExceeded    respond Ok
+//! ```
+//!
+//! Every stage sheds instead of blocking: a full queue turns into a typed
+//! [`Status::Overloaded`] response with a retry hint, never a hung
+//! connection. The dispatcher collects jobs into batches (deduplicating
+//! identical requests batch-locally), runs each batch as one
+//! [`run_specs`] call on the shared worker pool — so four configurations
+//! × many requests saturate the pool exactly like a local `replay
+//! report` — and renders responses through the same
+//! [`replay_sim::report`] code path the CLI uses, which is what makes a
+//! served body byte-identical to a local run.
+//!
+//! Shutdown (programmatic flag or SIGTERM via [`crate::signal`]) stops
+//! the accept loop immediately, then *drains*: connections already
+//! accepted are parsed, queued jobs are simulated, responses are written,
+//! and only then does [`Server::run`] return.
+
+use crate::proto::{read_frame, write_frame, Request, Response, Source, Status};
+use crate::queue::{Bounded, Pop, PushError};
+use crate::signal;
+use replay_obs::{Obs, Profile, Registry};
+use replay_sim::experiment::run_specs;
+use replay_sim::report::{render_report, specs_for_trace};
+use replay_sim::TraceStore;
+use replay_trace::{read_trace, workloads, Trace};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for one [`Server`]. `Default` is sized for a small shared box;
+/// tests shrink the queues to force shedding and set `batch_hold` to
+/// make races deterministic.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Simulation worker threads per batch (the CLI's `--jobs`).
+    pub jobs: usize,
+    /// Accepted connections awaiting parse before shedding starts.
+    pub conn_queue: usize,
+    /// Parsed requests awaiting dispatch before shedding starts.
+    pub work_queue: usize,
+    /// Most requests dispatched as one simulation batch.
+    pub batch_max: usize,
+    /// How long the dispatcher lingers for stragglers after the first
+    /// job of a batch arrives.
+    pub batch_linger: Duration,
+    /// Request-parsing threads.
+    pub readers: usize,
+    /// Socket read/write timeout (a stalled peer cannot wedge a stage).
+    pub io_timeout: Duration,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// Retry hint sent with shed responses.
+    pub retry_after: Duration,
+    /// Test hook: sleep this long before executing each batch, making
+    /// overload and deadline windows deterministic under test. Zero in
+    /// production.
+    pub batch_hold: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            jobs: replay_sim::parallel::job_count(),
+            conn_queue: 128,
+            work_queue: 64,
+            batch_max: 8,
+            batch_linger: Duration::from_millis(2),
+            readers: 2,
+            io_timeout: Duration::from_secs(10),
+            default_deadline: Duration::from_secs(30),
+            retry_after: Duration::from_millis(50),
+            batch_hold: Duration::ZERO,
+        }
+    }
+}
+
+/// What [`Server::run`] returns after draining: the serve-side metrics
+/// profile (queue depths, batch sizes, shed/latency accounting).
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Merged metrics from every serving thread, deterministic order.
+    pub profile: Profile,
+}
+
+impl ServeStats {
+    /// Requests answered [`Status::Ok`].
+    pub fn served(&self) -> u64 {
+        self.profile.counter("serve.requests.ok")
+    }
+
+    /// Requests shed with [`Status::Overloaded`] (both queues).
+    pub fn shed(&self) -> u64 {
+        self.profile.counter("serve.shed.conn") + self.profile.counter("serve.shed.work")
+    }
+}
+
+/// One parsed request awaiting dispatch.
+struct Job {
+    req: Request,
+    conn: TcpStream,
+    received: Instant,
+}
+
+/// A TCP simulation server. [`Server::bind`] claims the address;
+/// [`Server::run`] serves until shutdown and returns the metrics.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:4655`; port 0 picks a free port).
+    pub fn bind(addr: &str, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            cfg,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that initiates graceful shutdown when set to `true`.
+    /// SIGTERM/SIGINT (after [`signal::install`]) works identically.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signal::triggered()
+    }
+
+    /// Serves until shutdown, then drains in-flight work and returns the
+    /// metrics profile. The calling thread runs the accept loop; parsing
+    /// and dispatch run on scoped threads that are joined before return,
+    /// so when this returns every accepted connection has been answered.
+    pub fn run(self) -> ServeStats {
+        let cfg = &self.cfg;
+        let conn_q: Arc<Bounded<TcpStream>> = Arc::new(Bounded::new(cfg.conn_queue));
+        let work_q: Arc<Bounded<Job>> = Arc::new(Bounded::new(cfg.work_queue));
+        let registry = Registry::new();
+        let readers_left = AtomicUsize::new(cfg.readers.max(1));
+
+        std::thread::scope(|scope| {
+            for reader_idx in 0..cfg.readers.max(1) {
+                let conn_q = Arc::clone(&conn_q);
+                let work_q = Arc::clone(&work_q);
+                let registry = &registry;
+                let readers_left = &readers_left;
+                scope.spawn(move || {
+                    let profile = reader_loop(cfg, &conn_q, &work_q);
+                    // The last reader out closes the work queue so the
+                    // dispatcher knows no more jobs can arrive.
+                    if readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        work_q.close();
+                    }
+                    registry.submit(1 + reader_idx, profile);
+                });
+            }
+            {
+                let work_q = Arc::clone(&work_q);
+                let registry = &registry;
+                let n_readers = cfg.readers.max(1);
+                scope.spawn(move || {
+                    let profile = dispatcher_loop(cfg, &work_q);
+                    registry.submit(1 + n_readers, profile);
+                });
+            }
+
+            // Accept loop on the calling thread: nonblocking accept with a
+            // short poll so the shutdown flag is honored within ~1 ms.
+            let mut obs = Obs::collecting();
+            while !self.stopping() {
+                match self.listener.accept() {
+                    Ok((conn, _peer)) => {
+                        obs.counter("serve.accepted", 1);
+                        let _ = conn.set_read_timeout(Some(cfg.io_timeout));
+                        let _ = conn.set_write_timeout(Some(cfg.io_timeout));
+                        let _ = conn.set_nodelay(true);
+                        if let Err(PushError::Full(conn) | PushError::Closed(conn)) =
+                            conn_q.try_push(conn)
+                        {
+                            // Shed at the door: a typed response, not a
+                            // silently dropped connection.
+                            obs.counter("serve.shed.conn", 1);
+                            respond(
+                                conn,
+                                &Response::reject(Status::Overloaded, "accept queue full")
+                                    .with_retry_after(cfg.retry_after.as_millis() as u64),
+                                &mut obs,
+                            );
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+            // Stop accepting (listener closes on drop after the scope);
+            // close the conn queue so readers drain what was accepted and
+            // exit, which cascades into the work queue closing and the
+            // dispatcher draining.
+            conn_q.close();
+            registry.submit(0, obs.into_profile());
+        });
+
+        ServeStats {
+            profile: registry.finish(),
+        }
+    }
+}
+
+/// Parses requests off accepted connections and queues them for dispatch.
+fn reader_loop(cfg: &ServerConfig, conn_q: &Bounded<TcpStream>, work_q: &Bounded<Job>) -> Profile {
+    let mut obs = Obs::collecting();
+    loop {
+        let mut conn = match conn_q.pop() {
+            Pop::Item(c) => c,
+            Pop::Closed => break,
+            Pop::Empty => continue, // unreachable for blocking pop
+        };
+        let received = Instant::now();
+        let req = match read_frame(&mut conn)
+            .map_err(|e| e.to_string())
+            .and_then(|p| Request::decode(&p).map_err(|e| e.to_string()))
+        {
+            Ok(req) => req,
+            Err(e) => {
+                obs.counter("serve.requests.bad", 1);
+                respond(conn, &Response::reject(Status::BadRequest, e), &mut obs);
+                continue;
+            }
+        };
+        obs.counter("serve.requests.received", 1);
+        let job = Job {
+            req,
+            conn,
+            received,
+        };
+        if let Err(PushError::Full(job) | PushError::Closed(job)) = work_q.try_push(job) {
+            obs.counter("serve.shed.work", 1);
+            respond(
+                job.conn,
+                &Response::reject(Status::Overloaded, "work queue full")
+                    .with_retry_after(cfg.retry_after.as_millis() as u64),
+                &mut obs,
+            );
+        }
+    }
+    obs.into_profile()
+}
+
+/// Collects jobs into batches, deduplicates identical requests, runs each
+/// batch as one pool submission, and writes responses.
+fn dispatcher_loop(cfg: &ServerConfig, work_q: &Bounded<Job>) -> Profile {
+    let mut obs = Obs::collecting();
+    // Warm-start cache for inline traces, keyed by content digest: a
+    // resubmitted trace file skips decoding (named workloads already get
+    // this through the process-wide TraceStore).
+    let mut inline_traces: HashMap<u64, Arc<Trace>> = HashMap::new();
+    loop {
+        let first = match work_q.pop() {
+            Pop::Item(j) => j,
+            Pop::Closed => break,
+            Pop::Empty => continue,
+        };
+        let mut batch = vec![first];
+        let linger_until = Instant::now() + cfg.batch_linger;
+        while batch.len() < cfg.batch_max.max(1) {
+            let now = Instant::now();
+            if now >= linger_until {
+                break;
+            }
+            match work_q.pop_timeout(linger_until - now) {
+                Pop::Item(j) => batch.push(j),
+                Pop::Empty | Pop::Closed => break,
+            }
+        }
+        obs.counter("serve.batches", 1);
+        obs.hist("serve.batch_size", batch.len() as u64);
+        obs.hist("serve.queue_depth", work_q.len() as u64);
+        if !cfg.batch_hold.is_zero() {
+            std::thread::sleep(cfg.batch_hold);
+        }
+        process_batch(cfg, batch, &mut inline_traces, &mut obs);
+    }
+    obs.into_profile()
+}
+
+/// Deadline check → trace resolution → one `run_specs` call → responses.
+fn process_batch(
+    cfg: &ServerConfig,
+    batch: Vec<Job>,
+    inline_traces: &mut HashMap<u64, Arc<Trace>>,
+    obs: &mut Obs,
+) {
+    // Shed expired jobs first: simulating a request nobody is waiting on
+    // wastes the pool.
+    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        let limit = if job.req.deadline_ms > 0 {
+            Duration::from_millis(job.req.deadline_ms)
+        } else {
+            cfg.default_deadline
+        };
+        if job.received.elapsed() > limit {
+            obs.counter("serve.requests.deadline", 1);
+            respond(
+                job.conn,
+                &Response::reject(
+                    Status::DeadlineExceeded,
+                    format!("queued longer than {limit:?}"),
+                ),
+                obs,
+            );
+        } else {
+            live.push(job);
+        }
+    }
+
+    // Group identical requests: one simulation, many responses. Groups
+    // keep first-arrival order so results map back deterministically.
+    let mut groups: Vec<(u64, Vec<Job>)> = Vec::new();
+    for job in live {
+        let key = job.req.key();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, jobs)) => {
+                obs.counter("serve.requests.deduped", 1);
+                jobs.push(job);
+            }
+            None => groups.push((key, vec![job])),
+        }
+    }
+
+    // Resolve traces, turning failures into BadRequest for every waiter
+    // of that group.
+    let mut runnable: Vec<(Arc<Trace>, bool, Vec<Job>)> = Vec::new();
+    for (_key, jobs) in groups {
+        let req = &jobs[0].req;
+        let scale = req.scale as usize;
+        let resolved: Result<Arc<Trace>, String> = match &req.source {
+            Source::Workload(name) => match workloads::by_name(name) {
+                Some(w) => Ok(TraceStore::global().segment(&w, 0, scale)),
+                None => Err(format!("unknown workload {name:?}")),
+            },
+            Source::TraceBytes(bytes) => {
+                let digest = replay_store::digest_bytes(bytes);
+                match inline_traces.get(&digest) {
+                    Some(t) => {
+                        obs.counter("serve.inline_trace.hits", 1);
+                        Ok(Arc::clone(t))
+                    }
+                    None => match read_trace(&bytes[..]) {
+                        Ok(t) => {
+                            let t = Arc::new(t);
+                            inline_traces.insert(digest, Arc::clone(&t));
+                            Ok(t)
+                        }
+                        Err(e) => Err(format!("undecodable trace payload: {e}")),
+                    },
+                }
+            }
+        };
+        match resolved {
+            Ok(trace) => runnable.push((trace, req.timings, jobs)),
+            Err(msg) => {
+                for job in jobs {
+                    obs.counter("serve.requests.bad", 1);
+                    respond(job.conn, &Response::reject(Status::BadRequest, &msg), obs);
+                }
+            }
+        }
+    }
+    if runnable.is_empty() {
+        return;
+    }
+
+    // One pool submission for the whole batch: four specs per unique
+    // request, results in submission order, bit-identical at any `jobs`.
+    let specs: Vec<_> = runnable
+        .iter()
+        .flat_map(|(trace, _, _)| specs_for_trace(trace))
+        .collect();
+    let results = run_specs(&specs, cfg.jobs);
+    for (chunk, (trace, timings, jobs)) in results
+        .chunks_exact(replay_sim::ConfigKind::ALL.len())
+        .zip(runnable)
+    {
+        let json = render_report(&trace.name, trace.len(), chunk, timings);
+        for job in jobs {
+            obs.counter("serve.requests.ok", 1);
+            obs.hist(
+                "serve.latency_ms",
+                job.received.elapsed().as_millis() as u64,
+            );
+            respond(job.conn, &Response::ok(json.clone().into_bytes()), obs);
+        }
+    }
+}
+
+/// Writes one response frame, counting (not propagating) write failures —
+/// a peer that hung up is not the server's problem.
+fn respond(mut conn: TcpStream, resp: &Response, obs: &mut Obs) {
+    if write_frame(&mut conn, &resp.encode()).is_err() {
+        obs.counter("serve.responses.write_failed", 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! End-to-end service tests: a real listener on a loopback port, real
+//! clients, real simulations (at a small scale).
+//!
+//! These tests drive shutdown through [`Server::shutdown_flag`] — never
+//! through `signal::trigger()`, whose static flag is shared by every
+//! server in this test process. Real signal delivery is exercised by the
+//! CI smoke job, where the server is its own process.
+
+use replay_serve::{
+    Client, ClientConfig, ClientError, Request, Response, Server, ServerConfig, Source, Status,
+};
+use replay_sim::report::strip_store_section;
+use replay_trace::{workloads, write_trace};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const SCALE: usize = 2_000;
+
+/// Binds a server on an ephemeral port, runs it on a background thread,
+/// and returns (addr, shutdown flag, join handle for the stats).
+fn spawn_server(
+    cfg: ServerConfig,
+) -> (
+    String,
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<replay_serve::ServeStats>,
+) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let stop = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, stop, handle)
+}
+
+fn client(addr: &str, seed: u64) -> Client {
+    Client::new(ClientConfig {
+        addr: addr.to_string(),
+        seed,
+        // Tests that expect success give the client room to outlast any
+        // transient overload window.
+        retries: 10,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(200),
+        ..ClientConfig::default()
+    })
+}
+
+fn workload_request(name: &str) -> Request {
+    Request {
+        source: Source::Workload(name.to_string()),
+        scale: SCALE as u64,
+        timings: false,
+        deadline_ms: 0,
+    }
+}
+
+/// The response body with the `store` section stripped: that trailing
+/// section reports process-lifetime cache counters and is the one
+/// intentionally non-reproducible part of the artifact.
+fn body_of(resp: Response) -> String {
+    assert_eq!(resp.status, Status::Ok, "{}: {}", resp.status, resp.message);
+    strip_store_section(&String::from_utf8(resp.body).expect("report body is UTF-8"))
+}
+
+/// The local oracle: the exact bytes `replay report --json` prints.
+fn local_report(name: &str, jobs: usize) -> String {
+    let w = workloads::by_name(name).expect("known workload");
+    let trace = replay_sim::TraceStore::global().segment(&w, 0, SCALE);
+    let (_, json) = replay_sim::report::run_report(&trace, jobs, false);
+    json
+}
+
+#[test]
+fn served_bytes_match_local_report_cold_and_warm_at_any_jobs() {
+    for jobs in [1, 8] {
+        let (addr, stop, handle) = spawn_server(ServerConfig {
+            jobs,
+            ..ServerConfig::default()
+        });
+        let mut c = client(&addr, 1);
+        // Cold (first request synthesizes the trace) and warm (second hits
+        // the process-wide TraceStore) must serve identical bytes.
+        let cold = body_of(c.submit(&workload_request("gzip")).expect("cold submit"));
+        let warm = body_of(c.submit(&workload_request("gzip")).expect("warm submit"));
+        assert_eq!(cold, warm, "jobs={jobs}: warm response drifted");
+
+        let local = local_report("gzip", jobs);
+        assert_eq!(
+            cold,
+            strip_store_section(&local),
+            "jobs={jobs}: served bytes differ from a local `replay report --json`"
+        );
+
+        stop.store(true, Ordering::SeqCst);
+        let stats = handle.join().expect("server thread");
+        assert_eq!(stats.served(), 2);
+        assert_eq!(stats.shed(), 0);
+    }
+}
+
+#[test]
+fn inline_trace_bytes_serve_the_same_report_as_the_workload_name() {
+    let (addr, stop, handle) = spawn_server(ServerConfig::default());
+
+    let w = workloads::by_name("twolf").expect("known workload");
+    let trace = w.segment_trace(0, SCALE);
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &trace).expect("encode trace");
+
+    let mut c = client(&addr, 2);
+    let by_name = body_of(c.submit(&workload_request("twolf")).expect("by name"));
+    let inline_req = Request {
+        source: Source::TraceBytes(bytes),
+        scale: SCALE as u64,
+        timings: false,
+        deadline_ms: 0,
+    };
+    let by_bytes = body_of(c.submit(&inline_req).expect("inline cold"));
+    assert_eq!(by_name, by_bytes, "inline trace must render identically");
+    // Second inline submission hits the digest-keyed warm cache; the
+    // response must not change.
+    let warm = body_of(c.submit(&inline_req).expect("inline warm"));
+    assert_eq!(by_bytes, warm);
+
+    stop.store(true, Ordering::SeqCst);
+    let stats = handle.join().expect("server thread");
+    assert_eq!(stats.profile.counter("serve.inline_trace.hits"), 1);
+}
+
+#[test]
+fn unknown_workload_is_a_typed_terminal_rejection() {
+    let (addr, stop, handle) = spawn_server(ServerConfig::default());
+    let mut c = client(&addr, 3);
+    let err = c
+        .submit(&workload_request("definitely-not-a-workload"))
+        .expect_err("must be rejected");
+    match err {
+        ClientError::Rejected { status, message } => {
+            assert_eq!(status, Status::BadRequest);
+            assert!(message.contains("unknown workload"), "{message}");
+        }
+        other => panic!("expected a typed rejection, got {other}"),
+    }
+    // Undecodable inline bytes are equally terminal (and must not retry).
+    let garbage = Request {
+        source: Source::TraceBytes(vec![0xde, 0xad, 0xbe, 0xef]),
+        scale: SCALE as u64,
+        timings: false,
+        deadline_ms: 0,
+    };
+    match c.submit(&garbage).expect_err("garbage must be rejected") {
+        ClientError::Rejected { status, .. } => assert_eq!(status, Status::BadRequest),
+        other => panic!("expected a typed rejection, got {other}"),
+    }
+    stop.store(true, Ordering::SeqCst);
+    let stats = handle.join().expect("server thread");
+    assert_eq!(stats.profile.counter("serve.requests.bad"), 2);
+    assert_eq!(stats.served(), 0);
+}
+
+#[test]
+fn overload_sheds_typed_and_seeded_backoff_converges() {
+    // One-slot queues and a dispatcher that holds each batch long enough
+    // for concurrent submitters to pile up: some requests must be shed
+    // with a typed Overloaded (not a hang, not a dropped connection), and
+    // a client retrying on its seeded backoff schedule must still land
+    // every request eventually.
+    let (addr, stop, handle) = spawn_server(ServerConfig {
+        jobs: 1,
+        conn_queue: 1,
+        work_queue: 1,
+        batch_max: 1,
+        readers: 1,
+        batch_hold: Duration::from_millis(150),
+        ..ServerConfig::default()
+    });
+
+    let n_clients = 6;
+    std::thread::scope(|scope| {
+        let addr = &addr;
+        for seed in 0..n_clients {
+            scope.spawn(move || {
+                let mut c = Client::new(ClientConfig {
+                    addr: addr.to_string(),
+                    seed,
+                    retries: 40,
+                    base_backoff: Duration::from_millis(10),
+                    max_backoff: Duration::from_millis(250),
+                    ..ClientConfig::default()
+                });
+                let resp = c
+                    .submit(&workload_request("gzip"))
+                    .expect("retries must converge");
+                assert_eq!(resp.status, Status::Ok);
+            });
+        }
+    });
+
+    stop.store(true, Ordering::SeqCst);
+    let stats = handle.join().expect("server thread");
+    // Every client got an Ok; the dedupe counter plus ok counter accounts
+    // for all successful submissions.
+    assert!(stats.served() >= 1);
+    assert!(
+        stats.shed() > 0,
+        "six concurrent clients against one-slot queues must shed at least once; stats: served={} shed={}",
+        stats.served(),
+        stats.shed()
+    );
+}
+
+#[test]
+fn expired_deadline_is_deadline_exceeded_not_a_stale_report() {
+    // The dispatcher holds every batch for 120 ms; a 10 ms deadline is
+    // guaranteed to have lapsed by execution time.
+    let (addr, stop, handle) = spawn_server(ServerConfig {
+        batch_hold: Duration::from_millis(120),
+        ..ServerConfig::default()
+    });
+    let mut c = client(&addr, 5);
+    let req = Request {
+        deadline_ms: 10,
+        ..workload_request("gzip")
+    };
+    match c.submit(&req).expect_err("deadline must lapse") {
+        ClientError::Rejected { status, .. } => assert_eq!(status, Status::DeadlineExceeded),
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+    stop.store(true, Ordering::SeqCst);
+    let stats = handle.join().expect("server thread");
+    assert_eq!(stats.profile.counter("serve.requests.deadline"), 1);
+}
+
+#[test]
+fn batching_dedupes_identical_requests_into_one_simulation() {
+    // A long linger plus a held dispatcher guarantees the concurrent
+    // identical requests land in the same batch, so they must collapse to
+    // one simulation answered many times.
+    let (addr, stop, handle) = spawn_server(ServerConfig {
+        batch_linger: Duration::from_millis(300),
+        batch_hold: Duration::from_millis(100),
+        work_queue: 32,
+        ..ServerConfig::default()
+    });
+
+    let n = 4;
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let addr = &addr;
+        let handles: Vec<_> = (0..n)
+            .map(|seed| {
+                scope.spawn(move || {
+                    let mut c = client(addr, 100 + seed);
+                    body_of(c.submit(&workload_request("vortex")).expect("submit"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0], "deduped waiters must all get the same bytes");
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let stats = handle.join().expect("server thread");
+    assert_eq!(stats.served(), n);
+    assert!(
+        stats.profile.counter("serve.requests.deduped") > 0,
+        "identical concurrent requests in one batch must dedupe; profile:\n{}",
+        stats.profile.render_table(false)
+    );
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_before_returning() {
+    // Submit while the dispatcher is holding the batch, flip the shutdown
+    // flag mid-flight, and require (a) the in-flight request still gets
+    // its full Ok response and (b) run() has returned — i.e. drain, not
+    // abort and not linger.
+    let (addr, stop, handle) = spawn_server(ServerConfig {
+        batch_hold: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+
+    let submit = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = client(&addr, 7);
+            c.submit(&workload_request("gzip"))
+        })
+    };
+    // Give the request time to be accepted and parsed, then pull the plug
+    // while the dispatcher is still holding the batch.
+    std::thread::sleep(Duration::from_millis(80));
+    stop.store(true, Ordering::SeqCst);
+
+    let resp = submit
+        .join()
+        .expect("client thread")
+        .expect("in-flight request must be answered during drain");
+    assert_eq!(resp.status, Status::Ok);
+    assert!(!resp.body.is_empty());
+
+    let stats = handle.join().expect("run() must return after the drain");
+    assert_eq!(stats.served(), 1);
+
+    // The listener is gone: a fresh connection must not reach a server.
+    std::thread::sleep(Duration::from_millis(20));
+    let refused = std::net::TcpStream::connect(&addr);
+    assert!(refused.is_err(), "listener must be closed after drain");
+}

@@ -44,6 +44,7 @@ pub mod experiment;
 mod framestore;
 mod injector;
 pub mod parallel;
+pub mod report;
 mod result;
 mod runner;
 mod tracecache;

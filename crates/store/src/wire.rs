@@ -174,6 +174,12 @@ impl<'a> Reader<'a> {
         Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
+    /// Reads `n` raw bytes (caller handles any length prefix, typically
+    /// via [`Reader::get_len`] with `min_elem_size` 1).
+    pub fn get_bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        self.take(n, what)
+    }
+
     /// Reads a length prefix that must be payable by the remaining bytes
     /// at `min_elem_size` bytes per element — rejecting forged lengths
     /// *before* any allocation sized by them.
@@ -211,6 +217,21 @@ mod tests {
         assert_eq!(r.get_u64("d").unwrap(), u64::MAX - 1);
         assert_eq!(r.get_i32("e").unwrap(), -42);
         assert_eq!(r.finish(), Ok(()));
+    }
+
+    #[test]
+    fn byte_slices_round_trip_with_length_prefix() {
+        let mut w = Writer::new();
+        w.put_u32(3);
+        w.put_bytes(b"abc");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let n = r.get_len("blob", 1).unwrap();
+        assert_eq!(r.get_bytes(n, "blob").unwrap(), b"abc");
+        assert_eq!(r.finish(), Ok(()));
+        // Truncated payload surfaces as an error, not a panic.
+        let mut r = Reader::new(&bytes[..5]);
+        assert!(r.get_len("blob", 1).is_err());
     }
 
     #[test]

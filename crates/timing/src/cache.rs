@@ -38,6 +38,15 @@ impl Cache {
         assert!(cfg.assoc > 0 && cfg.size_bytes > 0);
         let lines = cfg.size_bytes / cfg.line_bytes;
         assert!(
+            cfg.assoc <= lines,
+            "associativity {} exceeds the {} line(s) the capacity holds \
+             ({} B / {} B lines)",
+            cfg.assoc,
+            lines,
+            cfg.size_bytes,
+            cfg.line_bytes
+        );
+        assert!(
             lines.is_multiple_of(cfg.assoc),
             "capacity must divide evenly"
         );
@@ -177,5 +186,59 @@ mod tests {
         for i in 0..4u32 {
             assert!(c.access(i * 64), "line {i} still resident");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity 4 exceeds the 2 line(s)")]
+    fn assoc_exceeding_lines_panics_with_a_clear_message() {
+        // 128 B / 64 B lines = 2 lines cannot host 4 ways.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 64,
+            assoc: 4,
+        });
+    }
+
+    #[test]
+    fn single_set_cache_distinguishes_all_lines_by_tag() {
+        // Fully associative degenerate geometry: 4 ways, 1 set. With
+        // set_mask == 0 every address maps to set 0 and the *whole* line
+        // number is the tag — distinct lines must never be confused.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            assoc: 4,
+        });
+        for i in 0..4u32 {
+            assert!(!c.access(i * 64), "cold line {i}");
+        }
+        for i in 0..4u32 {
+            assert!(c.access(i * 64), "line {i} resident, tag exact");
+            assert!(c.probe(i * 64), "probe agrees");
+        }
+        // A line differing only above the (empty) index field must miss.
+        assert!(!c.probe(4 * 64));
+        assert_eq!(c.misses(), 4);
+        assert_eq!(c.hits(), 4);
+    }
+
+    #[test]
+    fn probe_after_eviction_agrees_with_access_accounting() {
+        let mut c = small();
+        // Fill one set (2 ways) then overflow it; set stride is 256 B.
+        let (a, b, d) = (0x0000, 0x0100, 0x0200);
+        c.access(a);
+        c.access(b);
+        c.access(d); // evicts a (LRU)
+        assert!(!c.probe(a), "evicted line gone");
+        assert!(c.probe(b) && c.probe(d), "survivors resident");
+        let misses_before = c.misses();
+        // probe never fills and never counts: re-accessing the evicted
+        // line must be a genuine miss, and the survivors genuine hits.
+        assert!(!c.access(a));
+        assert_eq!(c.misses(), misses_before + 1, "probe did not pre-fill");
+        let hits_before = c.hits();
+        assert!(c.access(d));
+        assert_eq!(c.hits(), hits_before + 1, "probe did not disturb LRU state");
     }
 }

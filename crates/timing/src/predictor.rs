@@ -32,7 +32,11 @@ impl Gshare {
     }
 
     fn index(&self, pc: u32) -> usize {
-        (((pc >> 2) ^ self.history) & self.mask) as usize
+        // x86 branch PCs are byte-granular (instructions are variable
+        // length), so the low PC bits carry real entropy. A RISC-style
+        // `pc >> 2` here would alias branches 1–3 bytes apart onto one
+        // counter and systematically inflate the mispredict rate.
+        ((pc ^ self.history) & self.mask) as usize
     }
 
     /// Predicts the branch at `pc`.
@@ -103,7 +107,9 @@ impl Btb {
     /// Returns `true` if the prediction matched `actual`.
     pub fn predict_and_update(&mut self, pc: u32, actual: u32) -> bool {
         self.lookups += 1;
-        let idx = ((pc >> 2) & self.mask) as usize;
+        // Byte-granular indexing, as for the gshare table: x86 branches
+        // need their low address bits (see `Gshare::index`).
+        let idx = (pc & self.mask) as usize;
         let hit = matches!(self.entries[idx], Some((p, t)) if p == pc && t == actual);
         if !hit {
             self.misses += 1;
@@ -185,5 +191,46 @@ mod tests {
     #[should_panic(expected = "history bits")]
     fn zero_bits_rejected() {
         Gshare::new(0);
+    }
+
+    #[test]
+    fn nearby_branches_train_independent_counters() {
+        // x86 branch PCs are byte-granular: two branches 1–3 bytes apart
+        // (same 4-byte word) must train *separate* counters. The old
+        // RISC-style `pc >> 2` index aliased them onto one entry, so the
+        // neighbor inherited the hot branch's training.
+        for delta in [1u32, 2, 3] {
+            let mut g = Gshare::new(12);
+            for _ in 0..64 {
+                g.predict_and_update(0x40A0, true);
+            }
+            assert!(g.predict(0x40A0), "trained branch predicts taken");
+            assert!(
+                !g.predict(0x40A0 + delta),
+                "branch at +{delta} bytes must not inherit the neighbor's \
+                 counter (still weakly not-taken)"
+            );
+        }
+    }
+
+    #[test]
+    fn btb_keeps_entries_for_byte_adjacent_branches() {
+        // Two taken branches in the same 4-byte word must occupy distinct
+        // BTB entries. Under `pc >> 2` indexing, installing the second
+        // evicted the first, forcing a target re-miss every alternation.
+        for delta in [1u32, 2, 3] {
+            let mut b = Btb::new(10);
+            b.predict_and_update(0x40A0, 0x100);
+            assert!(b.predict_and_update(0x40A0, 0x100), "trained");
+            b.predict_and_update(0x40A0 + delta, 0x200);
+            assert!(
+                b.predict_and_update(0x40A0, 0x100),
+                "entry survives a byte-adjacent install at +{delta}"
+            );
+            assert!(
+                b.predict_and_update(0x40A0 + delta, 0x200),
+                "and vice versa"
+            );
+        }
     }
 }

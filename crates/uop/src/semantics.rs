@@ -48,9 +48,11 @@ impl std::error::Error for AluError {}
 /// out and define OF on 1-bit shifts (`SHL`: CF xor the result's sign bit;
 /// `SHR`: the operand's original sign bit; `SAR`: cleared), and `Mul` sets
 /// CF=OF exactly when the unsigned 64-bit product does not fit in 32 bits
-/// (the low 32 result bits are signedness-agnostic). One narrow deviation
-/// remains, documented in DESIGN.md: OF after a multi-bit shift is cleared
-/// where real hardware leaves it undefined.
+/// (the low 32 result bits are signedness-agnostic). OF after a multi-bit
+/// shift is architecturally *undefined*; this model resolves "undefined"
+/// as "preserved prior OF" — a behavior real implementations are permitted
+/// to (and some do) exhibit — so a multi-bit shift is a flags reader as
+/// well as a writer.
 ///
 /// This form is stateless: a shift by a masked count of zero reports
 /// [`Flags::CLEAR`]. Callers that track architectural flags must use
@@ -72,7 +74,9 @@ pub fn eval_alu(op: Opcode, a: u32, b: u32) -> Result<AluResult, AluError> {
 /// on x86 a shift by a masked count of zero is a complete no-op that leaves
 /// every flag untouched, so `Shl`/`Shr`/`Sar` with `b & 31 == 0` return
 /// `prev` unchanged instead of recomputing ZF/SF/PF from the (unchanged)
-/// value.
+/// value; and a shift by a masked count greater than one leaves OF
+/// architecturally undefined, which this model resolves as "`prev.of`
+/// carried through".
 ///
 /// # Errors
 ///
@@ -117,9 +121,15 @@ pub fn eval_alu_with_flags(op: Opcode, a: u32, b: u32, prev: Flags) -> Result<Al
                 let mut flags = Flags::from_logic_result(v);
                 // CF is the last bit shifted out: bit (32 - c) of the
                 // original operand. OF is defined only for 1-bit shifts,
-                // where it flags a sign change: CF xor the result's MSB.
+                // where it flags a sign change (CF xor the result's MSB);
+                // for wider counts it is undefined and modeled as the
+                // prior OF carried through.
                 flags.cf = (a >> (32 - c)) & 1 != 0;
-                flags.of = c == 1 && flags.cf != (v & 0x8000_0000 != 0);
+                flags.of = if c == 1 {
+                    flags.cf != (v & 0x8000_0000 != 0)
+                } else {
+                    prev.of
+                };
                 AluResult { value: v, flags }
             }
         }
@@ -135,9 +145,14 @@ pub fn eval_alu_with_flags(op: Opcode, a: u32, b: u32, prev: Flags) -> Result<Al
                 let mut flags = Flags::from_logic_result(v);
                 // CF is the last bit shifted out: bit (c - 1) of the
                 // original operand. On a 1-bit SHR, OF is the operand's
-                // original sign bit (the sign necessarily changes to 0).
+                // original sign bit (the sign necessarily changes to 0);
+                // wider counts leave it undefined — modeled as preserved.
                 flags.cf = (a >> (c - 1)) & 1 != 0;
-                flags.of = c == 1 && a & 0x8000_0000 != 0;
+                flags.of = if c == 1 {
+                    a & 0x8000_0000 != 0
+                } else {
+                    prev.of
+                };
                 AluResult { value: v, flags }
             }
         }
@@ -152,9 +167,10 @@ pub fn eval_alu_with_flags(op: Opcode, a: u32, b: u32, prev: Flags) -> Result<Al
                 let v = ((a as i32).wrapping_shr(c)) as u32;
                 let mut flags = Flags::from_logic_result(v);
                 // CF as for SHR; OF is cleared on 1-bit SAR (the sign is
-                // replicated, so it can never change).
+                // replicated, so it can never change), and undefined —
+                // modeled as preserved — for wider counts.
                 flags.cf = (a >> (c - 1)) & 1 != 0;
-                flags.of = false;
+                flags.of = if c == 1 { false } else { prev.of };
                 AluResult { value: v, flags }
             }
         }
@@ -318,7 +334,28 @@ mod tests {
         let r = eval_alu(Opcode::Shl, 0x1000_0000, 4).unwrap();
         assert_eq!(r.value, 0);
         assert!(r.flags.cf, "bit 28 is the last one shifted out by SHL 4");
-        assert!(!r.flags.of, "OF undefined for multi-bit shifts: cleared");
+        assert!(!r.flags.of, "OF preserved: stateless prev is CLEAR");
+    }
+
+    #[test]
+    fn multi_bit_shift_preserves_prior_of() {
+        // OF after a shift by more than one bit is architecturally
+        // undefined; the model pins it to "previous OF carried through",
+        // making the shift a flags reader the dataflow must honor.
+        let mut set = Flags::CLEAR;
+        set.of = true;
+        for op in [Opcode::Shl, Opcode::Shr, Opcode::Sar] {
+            for count in [2u32, 4, 17, 31] {
+                let r = eval_alu_with_flags(op, 0x8000_0401, count, set).unwrap();
+                assert!(r.flags.of, "{op:?} by {count} must carry OF=1 through");
+                let r = eval_alu_with_flags(op, 0x8000_0401, count, Flags::CLEAR).unwrap();
+                assert!(!r.flags.of, "{op:?} by {count} must carry OF=0 through");
+            }
+            // A 1-bit shift still *defines* OF, ignoring the prior value.
+            let one = eval_alu_with_flags(op, 0x8000_0401, 1, set).unwrap();
+            let alt = eval_alu_with_flags(op, 0x8000_0401, 1, Flags::CLEAR).unwrap();
+            assert_eq!(one.flags.of, alt.flags.of, "{op:?} by 1 defines OF");
+        }
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Regenerates the paper-evaluation tables pinned in `EXPERIMENTS.md`
+//! — Table 3 (uop/load removal), Figure 6 (IPC by configuration), and
+//! the Figures 7/8 Frame-cycle reduction headline — using only the
+//! workspace crates. The criterion harnesses under `crates/bench` print
+//! the same numbers but need a network fetch to build; this example is
+//! what an offline re-pin uses.
+//!
+//! ```text
+//! cargo run --release -p replay-examples --bin paper_tables [SCALE]
+//! ```
+//!
+//! `SCALE` defaults to 30 000 x86 instructions per segment, the scale at
+//! which `EXPERIMENTS.md` is pinned.
+
+use replay_core::DatapathConfig;
+use replay_sim::experiment::{
+    ablation, cycle_breakdown, ipc_comparison, removal_averages, removal_table, scope_comparison,
+    ABLATION_APPS, ABLATION_LABELS,
+};
+use replay_sim::{simulate, ConfigKind, SimConfig};
+use replay_timing::CycleBin;
+use replay_trace::{workloads, Suite};
+
+/// The design-choice sweep data points quoted in EXPERIMENTS.md's
+/// "Design-choice sweeps" section (the full grids are in
+/// `crates/bench/benches/ablation_sweeps.rs`, which needs criterion).
+fn sweeps(scale: usize) {
+    let n = scale.min(20_000);
+    let run = |cfg: &SimConfig| {
+        let t = workloads::by_name("bzip2").unwrap().segment_trace(0, n);
+        simulate(&t, cfg).ipc()
+    };
+    println!("Design-choice sweeps, bzip2 RPO (scale {n} x86/segment)");
+    print!("optimizer latency (cycles/uop 1, 10, 40):");
+    for cpu in [1u64, 10, 40] {
+        let mut cfg = SimConfig::new(ConfigKind::ReplayOpt).without_verify();
+        cfg.datapath = DatapathConfig {
+            cycles_per_uop: cpu,
+            ..DatapathConfig::default()
+        };
+        print!(" {:.2}", run(&cfg));
+    }
+    println!();
+    print!("max frame size (32 -> 256 uops):");
+    for max in [32usize, 256] {
+        let mut cfg = SimConfig::new(ConfigKind::ReplayOpt).without_verify();
+        cfg.constructor.max_uops = max;
+        print!(" {:.2}", run(&cfg));
+    }
+    println!();
+    print!("bias threshold (2, 8, 32 outcomes):");
+    for thr in [2u32, 8, 32] {
+        let mut cfg = SimConfig::new(ConfigKind::ReplayOpt).without_verify();
+        cfg.constructor.bias_threshold = thr;
+        print!(" {:.2}", run(&cfg));
+    }
+    println!();
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("sweeps") {
+        sweeps(30_000);
+        return;
+    }
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+
+    println!("Table 3 — micro-operations and loads removed (scale {scale} x86/segment)");
+    println!("{:10} {:>7} {:>7} {:>7}", "app", "uops%", "loads%", "IPC+%");
+    let rows = removal_table(scale);
+    for r in &rows {
+        println!(
+            "{:10} {:7.1} {:7.1} {:+7.1}",
+            r.name,
+            r.uops_removed * 100.0,
+            r.loads_removed * 100.0,
+            r.ipc_increase_pct
+        );
+    }
+    let (u, l, i) = removal_averages(&rows);
+    println!(
+        "{:10} {:7.1} {:7.1} {:+7.1}",
+        "Average",
+        u * 100.0,
+        l * 100.0,
+        i
+    );
+
+    println!();
+    println!("Figure 6 — IPC by configuration (scale {scale} x86/segment)");
+    println!(
+        "{:10} {:>5} {:>5} {:>5} {:>5} {:>7} {:>6} {:>8}",
+        "app", "IC", "TC", "RP", "RPO", "gain%", "cov%", "assert%"
+    );
+    let mut spec_cov = Vec::new();
+    let mut desk_cov = Vec::new();
+    let mut assert_fracs = Vec::new();
+    for r in ipc_comparison(scale) {
+        println!(
+            "{:10} {:5.2} {:5.2} {:5.2} {:5.2} {:+7.1} {:6.1} {:8.2}",
+            r.name,
+            r.ipc[0],
+            r.ipc[1],
+            r.ipc[2],
+            r.ipc[3],
+            r.rpo_gain_pct,
+            r.coverage * 100.0,
+            r.assert_cycle_frac * 100.0
+        );
+        match r.suite {
+            Suite::SpecInt => spec_cov.push(r.coverage),
+            Suite::Desktop => desk_cov.push(r.coverage),
+        }
+        assert_fracs.push(r.assert_cycle_frac);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "coverage SPEC {:.0}% desktop {:.0}% | assert cycles avg {:.1}% max {:.1}%",
+        avg(&spec_cov) * 100.0,
+        avg(&desk_cov) * 100.0,
+        avg(&assert_fracs) * 100.0,
+        assert_fracs.iter().cloned().fold(0.0, f64::max) * 100.0
+    );
+
+    println!();
+    println!("Figures 7/8 — Frame-cycle reduction, RP → RPO (scale {scale})");
+    for (suite, label) in [(Suite::SpecInt, "SPEC"), (Suite::Desktop, "desktop")] {
+        let rows = cycle_breakdown(suite, scale);
+        let rp: u64 = rows.iter().map(|r| r.rp.get(CycleBin::Frame)).sum();
+        let rpo: u64 = rows.iter().map(|r| r.rpo.get(CycleBin::Frame)).sum();
+        println!(
+            "{label:8} Frame cycles {rp} -> {rpo} ({:+.1}%)",
+            (rpo as f64 / rp as f64 - 1.0) * 100.0
+        );
+    }
+
+    println!();
+    println!("Figure 9 — block-scope vs frame-scope optimization (scale {scale})");
+    println!("{:10} {:>8} {:>8}", "app", "block%", "frame%");
+    let rows = scope_comparison(scale);
+    for r in &rows {
+        println!("{:10} {:+8.1} {:+8.1}", r.name, r.block_pct, r.frame_pct);
+    }
+    println!(
+        "{:10} {:+8.1} {:+8.1}",
+        "Average",
+        avg(&rows.iter().map(|r| r.block_pct).collect::<Vec<_>>()),
+        avg(&rows.iter().map(|r| r.frame_pct).collect::<Vec<_>>())
+    );
+
+    println!();
+    println!("Figure 10 — leave-one-out ablation, 0=RP 1=RPO (scale {scale})");
+    print!("{:10}", "app");
+    for l in ABLATION_LABELS {
+        print!(" {:>8}", format!("no {l}"));
+    }
+    println!();
+    for r in ablation(&ABLATION_APPS, scale) {
+        print!("{:10}", r.name);
+        for v in r.relative {
+            print!(" {v:8.2}");
+        }
+        println!();
+    }
+}
