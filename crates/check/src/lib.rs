@@ -46,5 +46,7 @@ pub use harness::{
     probe_fault_sensitivity, run_check, CheckConfig, CheckReport, Counterexample, FaultProbe,
     PassSelection,
 };
-pub use oracle::{apply_passes, check_frame, raw_frame, CaseStats, CheckError};
+pub use oracle::{
+    apply_passes, check_frame, check_plan_equivalence, raw_frame, CaseStats, CheckError,
+};
 pub use shrink::shrink;

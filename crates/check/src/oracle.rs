@@ -13,11 +13,20 @@
 //! 3. **Attribution**: on a differential failure, the failing pass is
 //!    located by re-running prefixes of the sequence, so the resulting
 //!    [`VerifyError`] names the pass as well as the uop.
+//! 4. **Plan equivalence**: both the raw and the optimized frame, when the
+//!    specialized-execution compiler accepts them, must behave bit-for-bit
+//!    identically through [`replay_core::ExecPlan`] and through the
+//!    reference interpreter — the same [`FrameOutcome`] (transactions
+//!    included), registers, flags, and committed memory, on completing,
+//!    assert-firing, faulting, and unsafe-conflict paths alike.
 
 use crate::gen::entry_state;
-use replay_core::{run_pass, AliasProfile, OptFrame, OptStats, PassCtx, PassId};
+use replay_core::{
+    exec_frame, run_pass, AliasProfile, ExecPlan, FrameOutcome, OptFrame, OptStats, PassCtx,
+    PassId, PlanScratch,
+};
 use replay_frame::Frame;
-use replay_uop::MachineState;
+use replay_uop::{ArchReg, MachineState};
 use replay_verify::{verify_differential, VerifyError};
 use std::fmt;
 
@@ -35,6 +44,16 @@ pub enum CheckError {
     /// The optimized frame diverged from the original; the error carries
     /// the failing uop and (after attribution) the pass name.
     Verify(VerifyError),
+    /// The compiled execution plan diverged from the reference interpreter
+    /// on the same frame — a hot-path fast-path bug, not an optimizer bug.
+    Plan {
+        /// Which form diverged: `"raw"` or `"optimized"`.
+        form: &'static str,
+        /// The entry seed the divergence was observed from.
+        entry_seed: u32,
+        /// The divergence.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -44,6 +63,17 @@ impl fmt::Display for CheckError {
                 write!(f, "invariant violated after pass {pass}: {detail}")
             }
             CheckError::Verify(e) => write!(f, "{e}"),
+            CheckError::Plan {
+                form,
+                entry_seed,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "execution plan diverges from interpreter on {form} frame \
+                     (entry seed {entry_seed}): {detail}"
+                )
+            }
         }
     }
 }
@@ -95,6 +125,9 @@ pub struct CaseStats {
     pub entries_aborted: u64,
     /// Uops removed by the sequence.
     pub uops_removed: u64,
+    /// Plan-vs-interpreter equivalence checks performed (two per entry
+    /// seed when the plan compiler accepts both frame forms).
+    pub plans_checked: u64,
 }
 
 /// Checks one frame under one pass sequence from the given entry seeds.
@@ -118,6 +151,7 @@ pub fn check_frame(
         uops_removed: (original.uop_count() - optimized.uop_count()) as u64,
         ..CaseStats::default()
     };
+    let mut plan_scratch = PlanScratch::new();
     for &seed in entry_seeds {
         let entry = entry_state(seed);
         match verify_differential(&original, &optimized, &entry) {
@@ -133,8 +167,81 @@ pub fn check_frame(
                 return Err(CheckError::Verify(e));
             }
         }
+        // Layer 4: the specialized execution plan must be bit-equivalent
+        // to the interpreter on both frame forms, whatever the outcome
+        // (completion, assert trip, fault, or unsafe-store conflict).
+        for (form, f) in [("raw", &original), ("optimized", &optimized)] {
+            match check_plan_equivalence(f, &entry, &mut plan_scratch) {
+                Ok(true) => stats.plans_checked += 1,
+                Ok(false) => {}
+                Err(detail) => {
+                    return Err(CheckError::Plan {
+                        form,
+                        entry_seed: seed,
+                        detail,
+                    })
+                }
+            }
+        }
     }
     Ok(stats)
+}
+
+/// Executes `f` through the reference interpreter ([`exec_frame`]) and
+/// through its compiled [`ExecPlan`] from the same entry state, requiring
+/// the identical [`FrameOutcome`] (transaction list included), registers,
+/// flags, and committed memory. Returns `Ok(false)` when the plan
+/// compiler declines the frame (nothing to compare).
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence found.
+pub fn check_plan_equivalence(
+    f: &OptFrame,
+    entry: &MachineState,
+    scratch: &mut PlanScratch,
+) -> Result<bool, String> {
+    let Some(plan) = ExecPlan::compile(f) else {
+        return Ok(false);
+    };
+    let mut interp = entry.clone();
+    let reference = exec_frame(f, &mut interp);
+    let mut planned_m = entry.clone();
+    let planned = plan.exec(&mut planned_m, scratch);
+    if reference != planned {
+        return Err(format!(
+            "outcome mismatch: interpreter {reference:?}, plan {planned:?}"
+        ));
+    }
+    for r in ArchReg::ALL {
+        if interp.reg(r) != planned_m.reg(r) {
+            return Err(format!(
+                "register {r} mismatch after {reference:?}: interpreter {:#x}, plan {:#x}",
+                interp.reg(r),
+                planned_m.reg(r)
+            ));
+        }
+    }
+    if interp.flags() != planned_m.flags() {
+        return Err(format!(
+            "flags mismatch after {reference:?}: interpreter {}, plan {}",
+            interp.flags(),
+            planned_m.flags()
+        ));
+    }
+    if let FrameOutcome::Completed { transactions } = &reference {
+        for t in transactions.iter().filter(|t| t.is_store) {
+            if interp.load32(t.addr) != planned_m.load32(t.addr) {
+                return Err(format!(
+                    "memory mismatch at {:#x}: interpreter {:#x}, plan {:#x}",
+                    t.addr,
+                    interp.load32(t.addr),
+                    planned_m.load32(t.addr)
+                ));
+            }
+        }
+    }
+    Ok(true)
 }
 
 /// True if the frame completes (commits) from `entry`.
@@ -169,7 +276,9 @@ fn attribute(
             Err(CheckError::Invariant { pass, .. }) => {
                 return full_error.in_pass(pass.name());
             }
-            Err(CheckError::Verify(_)) => unreachable!("apply_passes returns Invariant only"),
+            Err(CheckError::Verify(_) | CheckError::Plan { .. }) => {
+                unreachable!("apply_passes returns Invariant only")
+            }
         }
     }
     full_error
@@ -200,6 +309,57 @@ mod tests {
             let pass = PassId::ALL[i as usize % 7];
             check_frame(&frame, &[pass], &[i, !i]).unwrap_or_else(|e| panic!("{pass}: {e}"));
         }
+    }
+
+    #[test]
+    fn plan_matches_interpreter_on_every_outcome_path() {
+        // Random frames, raw and fully optimized, through the
+        // plan-equivalence layer — then count the outcome kinds the
+        // accepted cases actually hit, to prove the differential is not
+        // vacuous: completing AND rollback (assert/fault/conflict) paths
+        // must both appear.
+        let mut rng = SmallRng::seed_from_u64(0x51AB);
+        let mut scratch = replay_core::PlanScratch::new();
+        let (mut checked, mut completed, mut rolled_back) = (0u64, 0u64, 0u64);
+        for i in 0..120u32 {
+            let frame = arb_frame(&mut rng);
+            let optimized = apply_passes(&frame, &PassId::ALL).expect("pipeline sound");
+            for form in [raw_frame(&frame), optimized] {
+                for seed in [i, !i] {
+                    let entry = entry_state(seed);
+                    match check_plan_equivalence(&form, &entry, &mut scratch) {
+                        Ok(true) => {
+                            checked += 1;
+                            let mut m = entry.clone();
+                            match replay_core::exec_frame(&form, &mut m) {
+                                replay_core::FrameOutcome::Completed { .. } => completed += 1,
+                                _ => rolled_back += 1,
+                            }
+                        }
+                        Ok(false) => {}
+                        Err(e) => panic!("case {i}: {e}\n{}", form.listing()),
+                    }
+                }
+            }
+        }
+        assert!(
+            checked > 100,
+            "plan compiler accepted too few cases: {checked}"
+        );
+        assert!(completed > 0, "no completing path exercised");
+        assert!(rolled_back > 0, "no rollback path exercised");
+    }
+
+    #[test]
+    fn check_frame_counts_plan_checks() {
+        let mut rng = SmallRng::seed_from_u64(0x2222);
+        let mut total = 0u64;
+        for i in 0..20u32 {
+            let frame = arb_frame(&mut rng);
+            let stats = check_frame(&frame, &PassId::ALL, &[i]).expect("sound");
+            total += stats.plans_checked;
+        }
+        assert!(total > 0, "the plan-equivalence layer never engaged");
     }
 
     #[test]

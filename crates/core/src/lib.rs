@@ -71,6 +71,7 @@ mod ir;
 pub mod passes;
 mod passid;
 mod pipeline;
+mod plan;
 mod schedule;
 mod stats;
 
@@ -81,5 +82,6 @@ pub use frame_ir::OptFrame;
 pub use ir::{FlagsSrc, Operand, OptUop, Slot, Src};
 pub use passid::{run_pass, PassCtx, PassId};
 pub use pipeline::{observe_opt_result, optimize, optimize_observed, OptConfig, OptScope};
+pub use plan::{ExecPlan, PlanScratch};
 pub use schedule::reschedule;
 pub use stats::OptStats;

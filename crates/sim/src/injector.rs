@@ -68,6 +68,28 @@ impl Injector {
     /// Applies one record's architectural effects to the golden state and
     /// accounts it.
     pub fn apply(&mut self, r: &TraceRecord) {
+        self.apply_state(r);
+        if let Some(f) = self.flows.get(&r.addr) {
+            let uops = f.len() as u64;
+            let loads = f.iter().filter(|u| u.is_load()).count() as u64;
+            self.uops_seen += uops;
+            self.loads_seen += loads;
+        }
+    }
+
+    /// Applies one record like [`Injector::apply`], but accounts uops from
+    /// a flow the caller already holds (the chunk arena's copy), skipping
+    /// the per-record flow-map lookup on the streaming hot path. The
+    /// counts are identical to [`Injector::apply`] whenever `flow` is the
+    /// record's decode flow.
+    pub fn apply_with_flow(&mut self, r: &TraceRecord, flow: &[Uop]) {
+        self.apply_state(r);
+        self.uops_seen += flow.len() as u64;
+        self.loads_seen += flow.iter().filter(|u| u.is_load()).count() as u64;
+    }
+
+    /// Golden-state update shared by the two `apply` flavors.
+    fn apply_state(&mut self, r: &TraceRecord) {
         // Load values reflect what memory held: seeding them keeps the
         // golden memory consistent even for locations initialized outside
         // the trace (the paper's "load data is used by the verifier to
@@ -85,10 +107,6 @@ impl Injector {
         }
         self.golden.set_flags(Flags::from_bits(r.flags_after));
         self.x86_seen += 1;
-        if let Some(f) = self.flows.get(&r.addr) {
-            self.uops_seen += f.len() as u64;
-            self.loads_seen += f.iter().filter(|u| u.is_load()).count() as u64;
-        }
     }
 
     /// Dynamic x86 instructions applied.

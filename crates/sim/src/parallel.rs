@@ -30,6 +30,33 @@ pub fn available_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// True when the machine cannot actually run `jobs` workers concurrently:
+/// fewer available cores than requested jobs means any measured "speedup"
+/// is time-slicing overhead, not parallelism. Benchmarks must check this
+/// and mark their output degraded instead of publishing the number as a
+/// scaling measurement.
+pub fn degraded(jobs: usize) -> bool {
+    available_jobs() < jobs
+}
+
+/// Emits a loud stderr warning when benchmarking `jobs` workers on fewer
+/// available cores, returning whether the measurement is degraded. Callers
+/// record the returned flag in their JSON output so a starved-runner
+/// result can never masquerade as a real scaling curve.
+pub fn warn_if_degraded(jobs: usize) -> bool {
+    let cores = available_jobs();
+    if cores < jobs {
+        eprintln!(
+            "WARNING: benchmarking {jobs} jobs on {cores} available core(s); \
+             parallel timings below measure time-slicing, NOT scaling. \
+             The JSON output is marked \"degraded\": true."
+        );
+        true
+    } else {
+        false
+    }
+}
+
 /// The worker count the experiment drivers use by default: the
 /// `REPLAY_JOBS` environment variable if it parses to a positive integer,
 /// otherwise [`available_jobs`].

@@ -1,4 +1,4 @@
-//! The `replay-report/v1` artifact: one JSON document holding the four
+//! The `replay-report/v2` artifact: one JSON document holding the four
 //! per-configuration observability profiles, their deterministic merge,
 //! and (last) the non-reproducible cache-effectiveness section.
 //!
@@ -9,6 +9,17 @@
 //! non-reproducible part is the trailing `"store"` section (cache hit
 //! counters differ between cold and warm processes by design); consumers
 //! comparing two reports strip it first with [`strip_store_section`].
+//!
+//! **v1 → v2 compatibility**: v2 is a strict superset of v1. Every v1 key
+//! keeps its meaning and its value; v2 adds the hot-path execution
+//! counters to each profile — `sim.exec.specialized_hits`,
+//! `sim.exec.fallbacks`, `sim.exec.plans_compiled`, `sim.chunks`, and the
+//! per-pass `sim.pass.<pass>.dyn_removed_uops_specialized` split, which
+//! attributes optimization profit separately for fetches served by the
+//! specialized frame fast path. All new counters are deterministic
+//! functions of `(trace, config)`, so v2 retains v1's byte-identity across
+//! `--jobs` and cache temperature. Consumers that matched the literal
+//! schema string must accept `replay-report/v2`.
 
 use crate::experiment::{run_specs, SimSpec};
 use crate::{ConfigKind, SimConfig, SimResult, TraceStore};
@@ -57,7 +68,7 @@ pub fn store_profile() -> replay_obs::Profile {
     obs.into_profile()
 }
 
-/// Renders the `replay-report/v1` JSON document from the four
+/// Renders the `replay-report/v2` JSON document from the four
 /// per-configuration results of [`specs_for_trace`].
 ///
 /// Stable machine-readable schema: per-configuration profiles plus the
@@ -68,7 +79,7 @@ pub fn store_profile() -> replay_obs::Profile {
 /// is stripped by comparers ([`strip_store_section`]).
 pub fn render_report(workload: &str, scale: usize, results: &[SimResult], timings: bool) -> String {
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"replay-report/v1\",\n");
+    json.push_str("{\n  \"schema\": \"replay-report/v2\",\n");
     json.push_str(&format!("  \"workload\": \"{workload}\",\n"));
     json.push_str(&format!("  \"scale\": {scale},\n"));
     json.push_str("  \"configs\": {\n");
@@ -108,7 +119,7 @@ pub fn run_report(trace: &Arc<Trace>, jobs: usize, timings: bool) -> (Vec<SimRes
 }
 
 /// Removes the trailing non-reproducible `"store"` section from a
-/// `replay-report/v1` document, restoring the closing brace. Two reports
+/// `replay-report/v2` document, restoring the closing brace. Two reports
 /// of the same workload at the same scale compare byte-identical after
 /// this, regardless of worker count or cache temperature. Documents
 /// without a `store` section pass through unchanged.

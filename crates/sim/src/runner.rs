@@ -12,17 +12,35 @@
 use crate::framestore::{frame_key, FrameBundle};
 use crate::{ConfigKind, Injector, SimConfig, SimResult, TraceEntry, TraceFiller};
 use replay_core::{
-    observe_opt_result, optimize_observed, probe_frame, AliasProfile, ExecScratch, OptFrame,
-    OptStats, OptimizerDatapath, PassId, ProbeOutcome,
+    observe_opt_result, optimize_observed, probe_frame, AliasProfile, ExecPlan, ExecScratch,
+    OptFrame, OptStats, OptimizerDatapath, PassId, PlanScratch, ProbeOutcome,
 };
 use replay_frame::{CacheEntry, FrameCache, FrameConstructor, RetireEvent};
 use replay_obs::Obs;
 use replay_timing::{FetchPath, FrameFetch, Pipeline, X86Fetch};
 use replay_trace::{Trace, TraceRecord};
+use replay_uop::Uop;
 use replay_verify::Verifier;
 use replay_x86::Inst;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Runtime specialization state riding along with a cached frame.
+///
+/// The hit counter and the lazily compiled plan are shared between the
+/// cache-resident entry and the clone the run loop holds during a fetch
+/// (hence `Arc`), and reset naturally whenever a frame is (re)built — a
+/// frame that was invalidated and reconstructed re-earns its plan, which
+/// keeps every count a pure function of the trace.
+#[derive(Debug, Default)]
+struct SpecState {
+    /// Dynamic frame-cache hits served for this cached frame.
+    hits: AtomicU32,
+    /// Compiled once when `hits` crosses the threshold; `Some(None)` means
+    /// compilation was attempted and declined (stay interpreted forever).
+    plan: OnceLock<Option<ExecPlan>>,
+}
 
 /// A frame as stored in the frame cache: the (possibly optimized) renamed
 /// form, costing its *post-optimization* uop count in cache slots — the
@@ -35,6 +53,8 @@ struct CachedFrame {
     /// alongside the frame so every dynamic fetch can attribute its saved
     /// uops to the pass that earned them.
     removed_by_pass: [u64; 7],
+    /// Hit counting + the compiled execution plan (hot frames only).
+    spec: Arc<SpecState>,
 }
 
 impl CacheEntry for CachedFrame {
@@ -126,6 +146,63 @@ impl AliasWindow {
     }
 }
 
+/// Chunked decode-flow storage for the streaming hot loop.
+///
+/// Record-at-a-time iteration resolved every record's flow through the
+/// injector's per-address hash map — two to three SipHash lookups per
+/// retired instruction, each landing on a separately boxed `Rc<Vec<Uop>>`.
+/// The arena instead materializes one chunk of records at a time into a
+/// single contiguous uop buffer with `(offset, len)` spans per record:
+/// the hot loop's flow lookups become two array indexations into memory
+/// that stays cache-resident for the whole chunk, and the buffers recycle
+/// their capacity so steady-state refills allocate nothing.
+#[derive(Debug, Default)]
+struct FlowArena {
+    /// All chunk flows, concatenated in record order.
+    uops: Vec<Uop>,
+    /// Per-record `(offset, len)` into `uops`.
+    spans: Vec<(u32, u32)>,
+    /// Record index the chunk starts at.
+    start: usize,
+}
+
+impl FlowArena {
+    /// Replaces the chunk with the flows of `records[start..start+chunk]`
+    /// (clamped to the trace end), reusing the existing capacity.
+    fn refill(
+        &mut self,
+        injector: &mut Injector,
+        records: &[TraceRecord],
+        start: usize,
+        chunk: usize,
+    ) {
+        self.uops.clear();
+        self.spans.clear();
+        self.start = start;
+        let end = start.saturating_add(chunk).min(records.len());
+        for r in &records[start..end] {
+            let flow = injector.flow(r);
+            let off = self.uops.len() as u32;
+            self.uops.extend_from_slice(&flow);
+            self.spans.push((off, flow.len() as u32));
+        }
+    }
+
+    /// First record index past the chunk.
+    fn end(&self) -> usize {
+        self.start + self.spans.len()
+    }
+
+    /// The decode flow of record `idx`, if the chunk covers it. Frame
+    /// instances that run past the chunk boundary miss here and fall back
+    /// to the injector's flow cache.
+    fn flow_of(&self, idx: usize) -> Option<&[Uop]> {
+        let rel = idx.checked_sub(self.start)?;
+        let &(off, len) = self.spans.get(rel)?;
+        Some(&self.uops[off as usize..(off + len) as usize])
+    }
+}
+
 struct Runner<'a> {
     cfg: &'a SimConfig,
     records: &'a [TraceRecord],
@@ -155,6 +232,18 @@ struct Runner<'a> {
     scratch: ExecScratch,
     mem_addrs: Vec<Option<u32>>,
     touchers: HashMap<u32, Touchers>,
+    /// Chunked decode-flow staging for the streaming hot loop.
+    arena: FlowArena,
+    /// Reusable buffers for specialized (plan) probes.
+    plan_scratch: PlanScratch,
+    chunks: u64,
+    specialized_hits: u64,
+    spec_fallbacks: u64,
+    plans_compiled: u64,
+    /// Dynamic uops saved on *specialized* fetches, per pass — the subset
+    /// of `dyn_removed_by_pass` earned while the plan fast path served the
+    /// probe.
+    dyn_removed_by_pass_spec: [u64; 7],
 }
 
 impl<'a> Runner<'a> {
@@ -188,16 +277,43 @@ impl<'a> Runner<'a> {
             scratch: ExecScratch::new(),
             mem_addrs: Vec::new(),
             touchers: HashMap::new(),
+            arena: FlowArena::default(),
+            plan_scratch: PlanScratch::new(),
+            chunks: 0,
+            specialized_hits: 0,
+            spec_fallbacks: 0,
+            plans_compiled: 0,
+            dyn_removed_by_pass_spec: [0; 7],
         }
+    }
+
+    /// Stages the next chunk of decode flows starting at record `start`.
+    fn refill_arena(&mut self, start: usize) {
+        let span = self.obs.start_span();
+        self.arena.refill(
+            &mut self.injector,
+            self.records,
+            start,
+            self.cfg.hotpath.chunk_records,
+        );
+        self.obs.end_span("sim.chunk.fill", span);
+        self.chunks += 1;
     }
 
     /// Fetches one record through the decoder path.
     fn fetch_via_decoder(&mut self, idx: usize, path: FetchPath) {
         let r = &self.records[idx];
-        let flow = self.injector.flow(r);
+        let rc;
+        let flow: &[Uop] = match self.arena.flow_of(idx) {
+            Some(f) => f,
+            None => {
+                rc = self.injector.flow(r);
+                &rc
+            }
+        };
         let fetch = X86Fetch {
             addr: r.addr,
-            uops: &flow,
+            uops: flow,
             taken: r.taken(),
             indirect_target: matches!(r.inst, Inst::Ret | Inst::JmpInd { .. }).then_some(r.next_pc),
             redirects_fetch: r.next_pc != r.fallthrough(),
@@ -212,24 +328,36 @@ impl<'a> Runner<'a> {
     /// fill unit and advances the golden machine state.
     fn consume(&mut self, idx: usize) {
         let r = &self.records[idx];
-        let flow = self.injector.flow(r);
 
         if self.cfg.kind.uses_frames() {
+            let rc;
+            let flow: &[Uop] = match self.arena.flow_of(idx) {
+                Some(f) => f,
+                None => {
+                    rc = self.injector.flow(r);
+                    &rc
+                }
+            };
             let ev = RetireEvent {
                 addr: r.addr,
-                uops: &flow,
+                uops: flow,
                 next_pc: r.next_pc,
                 fallthrough: r.fallthrough(),
             };
-            if let Some(frame) = self.constructor.retire(&ev) {
+            let built = self.constructor.retire(&ev);
+            if let Some(frame) = built {
                 self.handle_new_frame(frame);
             }
         }
         if self.cfg.kind == ConfigKind::TraceCache {
+            let flow_len = match self.arena.flow_of(idx) {
+                Some(f) => f.len(),
+                None => self.injector.flow(r).len(),
+            };
             let ends = matches!(r.inst, Inst::Ret | Inst::JmpInd { .. } | Inst::LongFlow);
             if let Some(t) = self
                 .filler
-                .retire(r.addr, flow.len(), r.taken().is_some(), ends)
+                .retire(r.addr, flow_len, r.taken().is_some(), ends)
             {
                 self.tc_cache.insert(Arc::new(t));
             }
@@ -244,7 +372,15 @@ impl<'a> Runner<'a> {
             );
         }
 
-        self.injector.apply(r);
+        let rc;
+        let flow: &[Uop] = match self.arena.flow_of(idx) {
+            Some(f) => f,
+            None => {
+                rc = self.injector.flow(r);
+                &rc
+            }
+        };
+        self.injector.apply_with_flow(r, flow);
     }
 
     /// Records aliasing events observed within the span of a just-built
@@ -326,6 +462,7 @@ impl<'a> Runner<'a> {
                     CachedFrame {
                         opt,
                         removed_by_pass: stats.removed_by_pass,
+                        spec: Arc::new(SpecState::default()),
                     },
                     frame.orig_uop_count,
                     now,
@@ -345,6 +482,7 @@ impl<'a> Runner<'a> {
                 self.frame_cache.insert(CachedFrame {
                     opt: Arc::new(opt),
                     removed_by_pass: [0; 7],
+                    spec: Arc::new(SpecState::default()),
                 });
             }
         }
@@ -355,19 +493,68 @@ impl<'a> Runner<'a> {
     fn fetch_frame_instance(&mut self, cached: &CachedFrame, i: usize) -> usize {
         let opt: &OptFrame = &cached.opt;
         let n = opt.x86_count();
+        // Specialized fast path: once this cached frame has crossed the
+        // hit threshold, its compiled plan probes instead of the
+        // interpreter. Only a plan probe that *completes* is trusted; any
+        // assert fire, unsafe-store conflict, or fault falls back to
+        // `probe_frame`, which stays authoritative for failure attribution
+        // (so results are bit-identical with specialization on or off).
+        let threshold = self.cfg.hotpath.spec_threshold;
+        let mut specialized = false;
+        let mut plan_outcome = None;
+        if threshold > 0 {
+            let hits = cached.spec.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            if hits >= threshold {
+                let plans_compiled = &mut self.plans_compiled;
+                let plan = cached.spec.plan.get_or_init(|| {
+                    let p = ExecPlan::compile(opt);
+                    if p.is_some() {
+                        *plans_compiled += 1;
+                    }
+                    p
+                });
+                if let Some(plan) = plan.as_ref() {
+                    let o = plan.probe(self.injector.golden(), &mut self.plan_scratch);
+                    if o == ProbeOutcome::Completed {
+                        specialized = true;
+                        self.specialized_hits += 1;
+                        plan_outcome = Some(o);
+                    } else {
+                        self.spec_fallbacks += 1;
+                    }
+                }
+            }
+        }
         // Probe against the golden state without committing: the runner
         // retires the traced records through `consume` either way, so the
         // old clone-execute-discard of the sparse memory image was pure
         // allocation overhead.
-        let outcome = probe_frame(opt, self.injector.golden(), &mut self.scratch);
+        let outcome = match plan_outcome {
+            Some(o) => o,
+            None => probe_frame(opt, self.injector.golden(), &mut self.scratch),
+        };
         let path_ok = (0..n)
             .all(|j| i + j < self.records.len() && self.records[i + j].addr == opt.x86_addrs[j]);
 
         if path_ok && outcome == ProbeOutcome::Completed {
             self.mem_addrs.clear();
             self.mem_addrs.resize(opt.len(), None);
-            for t in self.scratch.transactions() {
+            let txns = if specialized {
+                self.plan_scratch.transactions()
+            } else {
+                self.scratch.transactions()
+            };
+            for t in txns {
                 self.mem_addrs[t.uop_index] = Some(t.addr);
+            }
+            if specialized {
+                for (d, r) in self
+                    .dyn_removed_by_pass_spec
+                    .iter_mut()
+                    .zip(cached.removed_by_pass)
+                {
+                    *d += r;
+                }
             }
             let exit_rec = &self.records[i + n - 1];
             self.pipeline.fetch_frame(&FrameFetch {
@@ -448,8 +635,12 @@ impl<'a> Runner<'a> {
     }
 
     fn run(mut self) -> SimResult {
+        let chunking = self.cfg.hotpath.chunk_records > 0;
         let mut i = 0usize;
         while i < self.records.len() {
+            if chunking && i >= self.arena.end() {
+                self.refill_arena(i);
+            }
             if self.cfg.kind == ConfigKind::ReplayOpt {
                 let now = self.pipeline.cycles();
                 for f in self.datapath.take_completed(now) {
@@ -548,11 +739,21 @@ impl<'a> Runner<'a> {
         self.obs.counter("sim.frames_x86", self.frames_x86);
         self.obs
             .counter("sim.path_mismatches", self.path_mismatch_completions);
+        self.obs
+            .counter("sim.exec.specialized_hits", self.specialized_hits);
+        self.obs.counter("sim.exec.fallbacks", self.spec_fallbacks);
+        self.obs
+            .counter("sim.exec.plans_compiled", self.plans_compiled);
+        self.obs.counter("sim.chunks", self.chunks);
         for (pi, pass) in PassId::ALL.into_iter().enumerate() {
             if self.obs.enabled() {
                 self.obs.counter(
                     &format!("sim.pass.{}.dyn_removed_uops", pass.name()),
                     self.dyn_removed_by_pass[pi],
+                );
+                self.obs.counter(
+                    &format!("sim.pass.{}.dyn_removed_uops_specialized", pass.name()),
+                    self.dyn_removed_by_pass_spec[pi],
                 );
             }
         }
@@ -680,6 +881,90 @@ mod tests {
             assert_eq!(a.coverage.to_bits(), b.coverage.to_bits(), "{kind}");
             assert_eq!(a.assert_events, b.assert_events, "{kind}");
         }
+    }
+
+    #[test]
+    fn specialization_and_chunking_never_change_results() {
+        // The hot-path knobs are host-side only: every simulated number
+        // must be bit-identical with specialization/chunking on, off, or
+        // at pathological settings.
+        let trace = short_trace("bzip2", 10_000);
+        for kind in [ConfigKind::Replay, ConfigKind::ReplayOpt] {
+            let base = simulate(&trace, &SimConfig::new(kind).without_verify());
+            let eager = simulate(
+                &trace,
+                &SimConfig::new(kind).without_verify().with_spec_threshold(1),
+            );
+            assert!(
+                eager.profile.counter("sim.exec.specialized_hits") > 0,
+                "{kind}: threshold 1 should specialize every reused frame"
+            );
+            let variants = [
+                SimConfig::new(kind)
+                    .without_verify()
+                    .without_specialization(),
+                SimConfig::new(kind).without_verify().with_spec_threshold(1),
+                {
+                    let mut c = SimConfig::new(kind).without_verify();
+                    c.hotpath.chunk_records = 0;
+                    c
+                },
+                {
+                    let mut c = SimConfig::new(kind).without_verify();
+                    c.hotpath.chunk_records = 7;
+                    c.hotpath.spec_threshold = 2;
+                    c
+                },
+            ];
+            for (vi, cfg) in variants.iter().enumerate() {
+                let r = simulate(&trace, cfg);
+                assert_eq!(base.cycles, r.cycles, "{kind} variant {vi}: cycles");
+                assert_eq!(base.x86_retired, r.x86_retired, "{kind} variant {vi}");
+                assert_eq!(
+                    base.coverage.to_bits(),
+                    r.coverage.to_bits(),
+                    "{kind} variant {vi}: coverage"
+                );
+                assert_eq!(
+                    base.assert_events, r.assert_events,
+                    "{kind} variant {vi}: aborts"
+                );
+                assert_eq!(
+                    base.dyn_uops_removed, r.dyn_uops_removed,
+                    "{kind} variant {vi}: removal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_attribution_is_a_subset_of_total() {
+        let trace = short_trace("bzip2", 10_000);
+        let r = simulate(&trace, &SimConfig::new(ConfigKind::ReplayOpt));
+        let total: u64 = PassId::ALL
+            .into_iter()
+            .map(|p| {
+                r.profile
+                    .counter(&format!("sim.pass.{}.dyn_removed_uops", p.name()))
+            })
+            .sum();
+        let spec: u64 = PassId::ALL
+            .into_iter()
+            .map(|p| {
+                r.profile.counter(&format!(
+                    "sim.pass.{}.dyn_removed_uops_specialized",
+                    p.name()
+                ))
+            })
+            .sum();
+        assert!(spec > 0, "hot frames should retire specialized uop savings");
+        assert!(spec <= total, "specialized subset exceeds total");
+        assert!(
+            r.profile.counter("sim.exec.plans_compiled") > 0
+                && r.profile.counter("sim.exec.plans_compiled")
+                    <= r.profile.counter("sim.exec.specialized_hits"),
+            "plans compile once and serve many hits"
+        );
     }
 
     #[test]

@@ -144,6 +144,13 @@ pub struct Pipeline {
     btb: Btb,
     bins: CycleBins,
     stats: PipelineStats,
+    /// Reusable per-frame scheduling buffers for [`Pipeline::fetch_frame`]:
+    /// per-slot value/flag completion times and per-uop completion list.
+    /// Kept on the pipeline so the frame-fetch hot path allocates nothing
+    /// once warm.
+    frame_slot_done: Vec<u64>,
+    frame_slot_flags_done: Vec<u64>,
+    frame_completions: Vec<u64>,
 }
 
 impl Pipeline {
@@ -169,6 +176,9 @@ impl Pipeline {
             store_ready: HashMap::new(),
             bins: CycleBins::new(),
             stats: PipelineStats::default(),
+            frame_slot_done: Vec::new(),
+            frame_slot_flags_done: Vec::new(),
+            frame_completions: Vec::new(),
             cfg,
         }
     }
@@ -464,10 +474,14 @@ impl Pipeline {
         self.switch_path(FetchPath::Frame);
 
         let n = f.frame.len();
-        let mut slot_done: Vec<u64> = vec![0; n];
-        let mut slot_flags_done: Vec<u64> = vec![0; n];
+        // Reusable scheduling buffers: clear + zero-fill recycles their
+        // capacity, so a warm pipeline fetches frames without allocating.
+        self.frame_slot_done.clear();
+        self.frame_slot_done.resize(n, 0);
+        self.frame_slot_flags_done.clear();
+        self.frame_slot_flags_done.resize(n, 0);
+        self.frame_completions.clear();
         let mut completions_max = 0u64;
-        let mut completions: Vec<u64> = Vec::with_capacity(n);
         let mut exit_branch: Option<(u32, u32, u64)> = None; // (pc, target, complete)
 
         for (i, u) in f.frame.iter() {
@@ -477,13 +491,13 @@ impl Pipeline {
             for src in [u.src_a, u.src_b].into_iter().flatten() {
                 ready = ready.max(match src {
                     Src::LiveIn(r) => self.reg_ready[r.index()],
-                    Src::Slot(s) => slot_done[s as usize],
+                    Src::Slot(s) => self.frame_slot_done[s as usize],
                 });
             }
             if let Some(fs) = u.flags_src {
                 ready = ready.max(match fs {
                     FlagsSrc::LiveIn => self.flags_ready,
-                    FlagsSrc::Slot(s) => slot_flags_done[s as usize],
+                    FlagsSrc::Slot(s) => self.frame_slot_flags_done[s as usize],
                 });
             }
             let mem = f.mem_addrs[i as usize];
@@ -500,16 +514,16 @@ impl Pipeline {
                     self.store_ready.insert(addr, complete);
                 }
             }
-            slot_done[i as usize] = complete;
+            self.frame_slot_done[i as usize] = complete;
             if u.writes_flags {
-                slot_flags_done[i as usize] = complete;
+                self.frame_slot_flags_done[i as usize] = complete;
             }
             if u.op.is_branch() {
                 exit_branch = Some((u.x86_addr, u.target, complete));
                 self.stats.branch_resolution_cycles += complete.saturating_sub(fetch);
                 self.stats.branches_resolved += 1;
             }
-            completions.push(complete);
+            self.frame_completions.push(complete);
             completions_max = completions_max.max(complete);
         }
 
@@ -523,7 +537,8 @@ impl Pipeline {
             self.reg_ready = [self.cycle; NUM_ARCH_REGS];
             self.flags_ready = self.cycle;
             // The in-flight frame drains.
-            for c in completions {
+            for j in 0..self.frame_completions.len() {
+                let c = self.frame_completions[j];
                 self.retire(c);
             }
             return false;
@@ -534,14 +549,15 @@ impl Pipeline {
         for &(r, src) in f.frame.live_out() {
             self.reg_ready[r.index()] = match src {
                 Src::LiveIn(other) => self.reg_ready[other.index()],
-                Src::Slot(s) => slot_done[s as usize],
+                Src::Slot(s) => self.frame_slot_done[s as usize],
             };
         }
         self.flags_ready = match f.frame.flags_out() {
             FlagsSrc::LiveIn => self.flags_ready,
-            FlagsSrc::Slot(s) => slot_flags_done[s as usize],
+            FlagsSrc::Slot(s) => self.frame_slot_flags_done[s as usize],
         };
-        for c in completions {
+        for j in 0..self.frame_completions.len() {
+            let c = self.frame_completions[j];
             self.retire(c.max(completions_max));
         }
         self.stats.retired_x86 += f.frame.x86_count() as u64;

@@ -1,0 +1,79 @@
+//! Allocation regression guard for the chunked streaming hot loop.
+//!
+//! The simulator's per-record work — chunk refill aside — must not touch
+//! the heap: decode flows are cached, the flow arena recycles its
+//! capacity between chunks, and the execution scratches are reused. The
+//! test measures whole-`simulate` allocation counts at two trace lengths
+//! and bounds the *marginal* allocations per extra record well below one;
+//! a record-at-a-time allocation creeping back in would push the
+//! difference above 10,000 immediately.
+//!
+//! This file holds exactly one test: the counting `#[global_allocator]`
+//! is binary-wide, and a lone test keeps the measurement free of
+//! concurrent-test noise.
+
+use replay_sim::{simulate, ConfigKind, SimConfig};
+use replay_trace::workloads;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, r)
+}
+
+#[test]
+fn chunked_hot_loop_does_not_allocate_per_record() {
+    let w = workloads::by_name("gzip").unwrap();
+    let (small_n, big_n) = (10_000usize, 20_000usize);
+    // Build both traces *before* measuring: synthesis allocates linearly
+    // in the record count by design and is not under test here.
+    let small = w.segment_trace(0, small_n);
+    let big = w.segment_trace(0, big_n);
+    let cfg = SimConfig::new(ConfigKind::ICache).without_verify();
+
+    // Warm-up pass so one-time lazy initialization is off the books.
+    let _ = simulate(&small, &cfg);
+
+    let (small_allocs, a) = allocs_during(|| simulate(&small, &cfg));
+    let (big_allocs, b) = allocs_during(|| simulate(&big, &cfg));
+    assert!(b.cycles > a.cycles, "the longer trace simulates more work");
+
+    // The marginal cost of 10,000 extra records. Fixed-size structures
+    // (caches, scratches, the arena after its first fill) were already
+    // paid for in `small_allocs`; what remains is per-chunk bookkeeping
+    // and late-appearing decode addresses — both far below one
+    // allocation per record.
+    let marginal = big_allocs.saturating_sub(small_allocs);
+    let extra_records = (big_n - small_n) as u64;
+    assert!(
+        marginal < extra_records / 10,
+        "{marginal} marginal allocations across {extra_records} extra records \
+         (small run: {small_allocs}, big run: {big_allocs}) — the hot loop is \
+         allocating per record again"
+    );
+}

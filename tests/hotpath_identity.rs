@@ -1,0 +1,145 @@
+//! The hot-path execution overhaul — specialized frame plans and chunked
+//! trace streaming — is a host-side optimization only. Nothing about the
+//! *simulated* machine may move: every counter a report pins must be
+//! bit-identical at any specialization threshold, any chunk size, any
+//! worker count, and any cache temperature.
+
+use replay_sim::experiment::{run_specs, SimSpec};
+use replay_sim::report::{run_report, strip_store_section};
+use replay_sim::{ConfigKind, SimConfig, SimResult, TraceStore};
+use replay_trace::workloads;
+use std::sync::Arc;
+
+const SCALE: usize = 3_000;
+
+/// Asserts the simulated (deterministic) portion of two results matches
+/// bit for bit. Host-side throughput counters are deterministic too
+/// (plan compilation is a pure function of the trace), so the whole
+/// profile must agree — checked separately by the report tests below.
+fn assert_simulated_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.x86_retired, b.x86_retired, "{what}: x86_retired");
+    assert_eq!(a.assert_events, b.assert_events, "{what}: assert_events");
+    assert_eq!(a.dyn_uops_total, b.dyn_uops_total, "{what}: dyn_uops_total");
+    assert_eq!(
+        a.dyn_uops_removed, b.dyn_uops_removed,
+        "{what}: dyn_uops_removed"
+    );
+    assert_eq!(
+        a.coverage.to_bits(),
+        b.coverage.to_bits(),
+        "{what}: coverage"
+    );
+    assert_eq!(a.ipc().to_bits(), b.ipc().to_bits(), "{what}: ipc");
+}
+
+fn rpo_result(w: &str, cfg: SimConfig, jobs: usize) -> SimResult {
+    let workload = workloads::by_name(w).unwrap();
+    let specs = vec![SimSpec::for_workload(&workload, SCALE, cfg)];
+    run_specs(&specs, jobs).remove(0)
+}
+
+/// The operative invariant of the overhaul: specialization threshold and
+/// chunk size are invisible in every simulated number, for both rePLay
+/// configurations, eager and disabled alike.
+#[test]
+fn hotpath_settings_never_change_simulated_numbers() {
+    for kind in [ConfigKind::Replay, ConfigKind::ReplayOpt] {
+        for w in ["gzip", "excel"] {
+            let base = rpo_result(w, SimConfig::new(kind).without_verify(), 1);
+            let variants = [
+                SimConfig::new(kind)
+                    .without_verify()
+                    .without_specialization(),
+                SimConfig::new(kind).without_verify().with_spec_threshold(1),
+                SimConfig::new(kind).without_verify().with_chunk_records(0),
+                SimConfig::new(kind).without_verify().with_chunk_records(3),
+                SimConfig::new(kind)
+                    .without_verify()
+                    .with_spec_threshold(1)
+                    .with_chunk_records(17),
+            ];
+            for (i, cfg) in variants.into_iter().enumerate() {
+                let r = rpo_result(w, cfg, 1);
+                assert_simulated_identical(&base, &r, &format!("{w}/{kind:?} variant {i}"));
+            }
+        }
+    }
+}
+
+/// An eagerly specialized run on many workers still matches the serial
+/// interpreted baseline — the fast path composes with the worker pool.
+#[test]
+fn eager_specialization_is_identical_across_jobs() {
+    let interp = rpo_result(
+        "bzip2",
+        SimConfig::new(ConfigKind::ReplayOpt)
+            .without_verify()
+            .without_specialization(),
+        1,
+    );
+    let eager = rpo_result(
+        "bzip2",
+        SimConfig::new(ConfigKind::ReplayOpt)
+            .without_verify()
+            .with_spec_threshold(1),
+        8,
+    );
+    assert_simulated_identical(&interp, &eager, "interp/1 vs eager/8");
+    assert!(
+        eager.profile.counter("sim.exec.specialized_hits") > 0,
+        "eager run must actually take the fast path"
+    );
+}
+
+/// The full replay-report/v2 artifact — which now carries the hot-path
+/// counters — stays byte-identical across worker counts and across
+/// consecutive (cold, then warm) runs, store section aside.
+#[test]
+fn report_v2_is_byte_identical_across_jobs_and_temperature() {
+    let trace = Arc::new(workloads::by_name("gzip").unwrap().segment_trace(0, SCALE));
+    let (_, cold) = run_report(&trace, 1, false);
+    let (_, warm) = run_report(&trace, 1, false);
+    let (_, par) = run_report(&trace, 4, false);
+    assert!(cold.contains("\"schema\": \"replay-report/v2\""));
+    assert!(
+        cold.contains("sim.exec.specialized_hits"),
+        "v2 must carry the hot-path counters"
+    );
+    let cold = strip_store_section(&cold);
+    assert_eq!(cold, strip_store_section(&warm), "cold vs warm");
+    assert_eq!(cold, strip_store_section(&par), "1 job vs 4 jobs");
+}
+
+/// The per-pass profit attribution split: uops removed on specialized
+/// fetches must be a subset of the total per-pass removal, never an
+/// addition to it.
+#[test]
+fn specialized_attribution_is_a_subset() {
+    // Shared trace, eager threshold so the fast path engages at SCALE.
+    let w = workloads::by_name("bzip2").unwrap();
+    let specs = vec![SimSpec {
+        name: w.name.to_string(),
+        traces: TraceStore::global().traces(&w, SCALE),
+        cfg: SimConfig::new(ConfigKind::ReplayOpt)
+            .without_verify()
+            .with_spec_threshold(1),
+    }];
+    let r = run_specs(&specs, 1).remove(0);
+    let mut spec_sum = 0u64;
+    let mut total_sum = 0u64;
+    for (name, metric) in r.profile.iter() {
+        if let replay_obs::Metric::Counter(v) = metric {
+            if name.ends_with(".dyn_removed_uops_specialized") {
+                spec_sum += v;
+                let total_name = name.replace("_specialized", "");
+                let total = r.profile.counter(&total_name);
+                assert!(*v <= total, "{name}: specialized {v} exceeds total {total}");
+            } else if name.starts_with("sim.pass.") && name.ends_with(".dyn_removed_uops") {
+                total_sum += v;
+            }
+        }
+    }
+    assert!(spec_sum > 0, "no specialized attribution recorded");
+    assert!(spec_sum <= total_sum);
+}
