@@ -15,6 +15,10 @@
 //! replay frames <workload> [-n N] [--top K] inspect the most-optimized frames
 //! replay check [--cases N] [--seed S] [--passes all|pipeline|<list>]
 //!                                           property-check the optimizer
+//! replay clone --from-profile SRC [-n N]    synthesize a workload matching a
+//!                                           target statistical profile
+//! replay sweep [--corner NAME] [--out FILE] stress-sweep generator corners,
+//!                                           record where the RPO gain collapses
 //! ```
 
 use replay_core::{optimize, AliasProfile, OptConfig};
@@ -43,6 +47,8 @@ fn main() -> ExitCode {
         Some("submit") => cmd_submit(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
+        Some("clone") => cmd_clone(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -408,6 +414,47 @@ const SPEC_SUBMIT: CmdSpec = CmdSpec {
     ],
 };
 
+const SPEC_CLONE: CmdSpec = CmdSpec {
+    name: "clone",
+    positional: "",
+    about: "synthesize a workload whose measured profile matches a target drawn \
+            from SRC (a workload name or trace file) within tolerance — \
+            deterministic seeded hill-climb, bit-identical at any --jobs \
+            (emits a replay-clone/v1 JSON artifact with --json)",
+    flags: &[
+        req_flag(&["from-profile"], "SRC"),
+        flag(&["n"], "N"),
+        flag(&["seed"], "S"),
+        flag(&["tol"], "T"),
+        flag(&["iters"], "K"),
+        flag(&["candidates"], "K"),
+        flag(&["o", "out"], "FILE"),
+        flag(&["json"], "FILE"),
+        JOBS_FLAG,
+        CACHE_DIR_FLAG,
+        NO_STORE_FLAG,
+    ],
+};
+const SPEC_SWEEP: CmdSpec = CmdSpec {
+    name: "sweep",
+    positional: "",
+    about: "walk generator parameters toward pathological corners (CORNER: \
+            assert-storm, alias-heavy, predictor-hostile, all) and record \
+            where the RPO IPC gain collapses below the floor (replay-clone/v1 \
+            JSON artifact with --out)",
+    flags: &[
+        flag(&["corner"], "CORNER"),
+        flag(&["steps"], "K"),
+        flag(&["n"], "N"),
+        flag(&["seed"], "S"),
+        flag(&["gain-floor"], "PCT"),
+        flag(&["out", "o"], "FILE"),
+        JOBS_FLAG,
+        CACHE_DIR_FLAG,
+        NO_STORE_FLAG,
+    ],
+};
+
 /// Every subcommand, in `help` display order. The help screen iterates
 /// this list, so adding a command here is what publishes it.
 const ALL_SPECS: &[&CmdSpec] = &[
@@ -424,6 +471,8 @@ const ALL_SPECS: &[&CmdSpec] = &[
     &SPEC_INFO,
     &SPEC_DISASM,
     &SPEC_CHECK,
+    &SPEC_CLONE,
+    &SPEC_SWEEP,
 ];
 
 /// Parsed options: positionals plus a flag lookup, validated against a
@@ -1419,6 +1468,133 @@ fn cmd_frames(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_clone(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &SPEC_CLONE)?;
+    if !opts.positional.is_empty() {
+        return Err(SPEC_CLONE.usage());
+    }
+    configure_store(&opts);
+    let source = opts
+        .get("from-profile")
+        .ok_or_else(|| format!("missing --from-profile SRC ({})", SPEC_CLONE.usage()))?;
+    let n = opts.count("n", 6_000)?;
+    let mut cfg = replay_clone::FitConfig {
+        fit_scale: n,
+        jobs: opts.jobs()?,
+        ..Default::default()
+    };
+    cfg.seed = opts.count("seed", cfg.seed as usize)? as u64;
+    cfg.max_iters = opts.count("iters", cfg.max_iters)?;
+    cfg.candidates_per_iter = opts.count("candidates", cfg.candidates_per_iter)?;
+    if let Some(t) = opts.get("tol") {
+        cfg.tolerance = t
+            .parse()
+            .ok()
+            .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("bad --tol value {t:?}"))?;
+    }
+    // The target profile is measured at the fit scale, so a target drawn
+    // from a suite workload is reachable exactly.
+    let target_trace = load_trace(source, n, 0)?;
+    let target = replay_trace::StatProfile::measure(&target_trace);
+    println!(
+        "target `{}`: {} x86 instructions; fitting at scale {} (tolerance {}, seed {:#x})",
+        source,
+        target_trace.len(),
+        cfg.fit_scale,
+        cfg.tolerance,
+        cfg.seed
+    );
+    let fit = replay_clone::fit(&target, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "converged: `{}` at distance {:.4} after {} iterations ({} evaluations)",
+        fit.workload.name, fit.distance, fit.iterations, fit.evaluations
+    );
+    let (axis, delta) = fit.measured.worst_component(&target);
+    println!("worst dimension: {axis} (|delta| = {delta:.4})");
+    if let Some(path) = opts.get("json") {
+        let json = replay_clone::clone_json(&cfg, &target, &fit);
+        std::fs::write(path, &json).map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(out) = opts.get("o") {
+        let trace = TraceStore::global().segment(&fit.workload, 0, cfg.fit_scale);
+        let file = std::fs::File::create(out).map_err(|e| format!("creating {out:?}: {e}"))?;
+        write_trace(std::io::BufWriter::new(file), &trace).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} records of `{}` to {out}",
+            trace.len(),
+            fit.workload.name
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &SPEC_SWEEP)?;
+    if !opts.positional.is_empty() {
+        return Err(SPEC_SWEEP.usage());
+    }
+    configure_store(&opts);
+    let mut cfg = replay_clone::SweepConfig {
+        jobs: opts.jobs()?,
+        ..Default::default()
+    };
+    cfg.steps = opts.count("steps", cfg.steps)?;
+    cfg.scale = opts.count("n", cfg.scale)?;
+    cfg.seed = opts.count("seed", cfg.seed as usize)? as u64;
+    if let Some(v) = opts.get("gain-floor") {
+        cfg.gain_floor_pct = v
+            .parse()
+            .ok()
+            .filter(|f: &f64| f.is_finite())
+            .ok_or_else(|| format!("bad --gain-floor value {v:?}"))?;
+    }
+    if let Some(name) = opts.get("corner") {
+        if name != "all" {
+            let corner = replay_clone::Corner::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown corner {name:?} (valid: assert-storm, alias-heavy, \
+                     predictor-hostile, all)"
+                )
+            })?;
+            cfg.corners = vec![corner];
+        }
+    }
+    let result = replay_clone::run_sweep(&cfg);
+    for corner in &result.corners {
+        println!("corner {}:", corner.corner);
+        println!(
+            "  {:>4} {:>5} {:>7} {:>7} {:>8} {:>5} {:>7}",
+            "step", "frac", "rp", "rpo", "gain%", "cov", "assert"
+        );
+        for p in &corner.points {
+            println!(
+                "  {:>4} {:>5.2} {:>7.3} {:>7.3} {:>+8.2} {:>5.2} {:>7.3}",
+                p.step,
+                p.frac,
+                p.gain.rp_ipc,
+                p.gain.rpo_ipc,
+                p.gain.rpo_gain_pct,
+                p.gain.coverage,
+                p.gain.assert_cycle_frac
+            );
+        }
+        match corner.collapse_step {
+            Some(step) => println!(
+                "  collapse at step {step} (gain below {}%)",
+                cfg.gain_floor_pct
+            ),
+            None => println!("  no collapse above the {}% floor", cfg.gain_floor_pct),
+        }
+    }
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, result.to_json()).map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1548,6 +1724,8 @@ mod tests {
             "info",
             "disasm",
             "check",
+            "clone",
+            "sweep",
         ] {
             assert!(names.contains(&expect), "{expect} missing from ALL_SPECS");
         }

@@ -1,0 +1,400 @@
+//! The profile fitter: seeded hill-climb over generator parameters.
+
+use crate::{json_f64, params_json, profile_json, SCHEMA};
+use replay_obs::Profile;
+use replay_rng::SmallRng;
+use replay_sim::{parallel, TraceStore};
+use replay_trace::{workloads, GenParams, StatProfile, Suite, Workload};
+
+/// Fitter configuration. Every field participates in the deterministic
+/// search, so two runs with equal configs and equal targets produce the
+/// identical [`FitResult`] (or the identical [`FitError`]) at any worker
+/// count.
+#[derive(Debug, Clone, Copy)]
+pub struct FitConfig {
+    /// Master seed of the candidate generator (`split_stream(seed, iter)`
+    /// derives each iteration's stream, so iterations are independent of
+    /// one another and of the worker count).
+    pub seed: u64,
+    /// Maximum hill-climb iterations before the fit gives up.
+    pub max_iters: usize,
+    /// Convergence tolerance on the profile [`StatProfile::distance`].
+    /// The documented default, `0.05`, is well under the typical
+    /// inter-workload distance of the suite (gzip↔power ≈ 0.2).
+    pub tolerance: f64,
+    /// Dynamic x86 instructions per candidate evaluation trace.
+    pub fit_scale: usize,
+    /// Neighbor candidates generated (and evaluated in parallel) per
+    /// iteration.
+    pub candidates_per_iter: usize,
+    /// Worker threads for candidate evaluation. Any value yields
+    /// bit-identical results; more workers are just faster.
+    pub jobs: usize,
+}
+
+impl Default for FitConfig {
+    fn default() -> FitConfig {
+        FitConfig {
+            seed: 0x5eed_c10e,
+            max_iters: 120,
+            tolerance: 0.05,
+            fit_scale: 6_000,
+            candidates_per_iter: 8,
+            jobs: 1,
+        }
+    }
+}
+
+/// A successful fit: a synthesized workload whose measured profile is
+/// within tolerance of the target.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The synthesized workload (one segment, `fit_scale` default
+    /// length). Its name is a deterministic function of the target and
+    /// the seed.
+    pub workload: Workload,
+    /// The profile measured from the synthesized trace.
+    pub measured: StatProfile,
+    /// Final distance to the target (`<= tolerance`).
+    pub distance: f64,
+    /// Hill-climb iterations performed (0 when a start point already
+    /// converged).
+    pub iterations: usize,
+    /// Candidate evaluations performed, start points included.
+    pub evaluations: usize,
+    /// Fitter observability counters (`clone.fit.*`).
+    pub profile: Profile,
+}
+
+/// A fit that did not converge. The best-found parameters are *not*
+/// returned: a nearest miss silently standing in for the requested
+/// profile would defeat the point of a tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The hill-climb exhausted `max_iters` above tolerance.
+    NotConverged {
+        /// Best distance reached.
+        best_distance: f64,
+        /// The tolerance that was not met.
+        tolerance: f64,
+        /// Iterations performed.
+        iterations: usize,
+        /// Candidate evaluations performed.
+        evaluations: usize,
+        /// The profile dimension furthest from the target at the best
+        /// point — the axis that resisted fitting.
+        worst_component: &'static str,
+    },
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NotConverged {
+                best_distance,
+                tolerance,
+                iterations,
+                evaluations,
+                worst_component,
+            } => write!(
+                f,
+                "fit did not converge: best distance {best_distance:.4} > tolerance \
+                 {tolerance:.4} after {iterations} iterations ({evaluations} evaluations); \
+                 worst dimension: {worst_component}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Deterministic name of the clone a `(target, seed)` pair produces. The
+/// name is stamped into the trace header, so it must be a pure function
+/// of the fit inputs for synthesized trace files to be byte-identical
+/// across runs.
+fn clone_name(target: &StatProfile, seed: u64) -> String {
+    let mut d = replay_store::Digest64::new();
+    d.write_u64(seed);
+    for (_, v) in target.components() {
+        d.write_f64(v);
+    }
+    format!("clone-{:016x}", d.finish())
+}
+
+/// One candidate's synthesized workload (single segment at `fit_scale`).
+fn candidate_workload(name: &str, fit_scale: usize, params: GenParams) -> Workload {
+    Workload::custom(name.to_string(), Suite::SpecInt, 1, fit_scale, params)
+}
+
+/// Mutates one randomly-chosen parameter axis of `base` — the
+/// hill-climb's neighbor move. Clamps keep every axis inside the range
+/// the generator tolerates.
+fn perturb(rng: &mut SmallRng, base: &GenParams) -> GenParams {
+    let mut p = *base;
+    let clamp = |v: f64, lo: f64, hi: f64| v.max(lo).min(hi);
+    // Symmetric step in {-mag, ..., +mag} scaled to the axis.
+    fn step(rng: &mut SmallRng, mag: f64) -> f64 {
+        let grid = rng.random_range(0..=40i32) - 20;
+        grid as f64 / 20.0 * mag
+    }
+    match rng.random_range(0..18u32) {
+        axis @ 0..=12 => {
+            let i = axis as usize;
+            let delta = rng.random_range(1..4i32);
+            let sign = if rng.random_bool(0.5) { 1 } else { -1 };
+            p.weights[i] = (p.weights[i] as i32 + sign * delta).max(0) as u32;
+            if p.weights.iter().sum::<u32>() == 0 {
+                p.weights[i] = 1;
+            }
+        }
+        13 => p.bias_frac = clamp(p.bias_frac + step(rng, 0.004), 0.90, 0.9995),
+        14 => p.alias_rate = clamp(p.alias_rate + step(rng, 0.05), 0.0, 0.9),
+        15 => p.switch_varied = clamp(p.switch_varied + step(rng, 0.05), 0.0, 0.9),
+        16 => {
+            let delta = rng.random_range(1..4usize);
+            p.body_phrases = if rng.random_bool(0.5) {
+                (p.body_phrases + delta).min(64)
+            } else {
+                p.body_phrases.saturating_sub(delta).max(8)
+            };
+        }
+        _ => p.shared_callees = !p.shared_callees,
+    }
+    p
+}
+
+/// Fits a workload to `target` using the process-wide [`TraceStore`]
+/// (memoized, and persistent when a cache directory is configured).
+pub fn fit(target: &StatProfile, cfg: &FitConfig) -> Result<FitResult, FitError> {
+    fit_with_store(target, cfg, TraceStore::global())
+}
+
+/// [`fit`] against an explicit trace store (tests use a private store to
+/// observe cold/warm behavior in isolation).
+pub fn fit_with_store(
+    target: &StatProfile,
+    cfg: &FitConfig,
+    store: &TraceStore,
+) -> Result<FitResult, FitError> {
+    let name = clone_name(target, cfg.seed);
+    let evaluate = |candidates: &[GenParams]| -> Vec<(f64, StatProfile)> {
+        parallel::par_map(cfg.jobs, candidates, |p| {
+            let w = candidate_workload(&name, cfg.fit_scale, *p);
+            let trace = store.segment(&w, 0, cfg.fit_scale);
+            let measured = StatProfile::measure(&trace);
+            (measured.distance(target), measured)
+        })
+    };
+    // Lowest distance wins; on exact ties the earliest candidate wins, so
+    // the selection is independent of evaluation order (and job count).
+    let best_of = |scored: &[(f64, StatProfile)]| -> usize {
+        let mut best = 0;
+        for (i, (d, _)) in scored.iter().enumerate() {
+            if *d < scored[best].0 {
+                best = i;
+            }
+        }
+        best
+    };
+
+    // Start set: every suite workload's own generator parameters. A
+    // target drawn from the suite therefore starts at (near-)zero
+    // distance; foreign targets start from the closest archetype and the
+    // hill-climb does the rest.
+    let starts: Vec<GenParams> = workloads::all().iter().map(|w| *w.params()).collect();
+    let mut evaluations = starts.len();
+    let scored = evaluate(&starts);
+    let i = best_of(&scored);
+    let mut best_params = starts[i];
+    let (mut best_dist, mut best_measured) = scored[i];
+
+    let mut iterations = 0;
+    while best_dist > cfg.tolerance && iterations < cfg.max_iters {
+        let mut rng = SmallRng::split_stream(cfg.seed, iterations as u64);
+        let neighbors: Vec<GenParams> = (0..cfg.candidates_per_iter)
+            .map(|_| perturb(&mut rng, &best_params))
+            .collect();
+        let scored = evaluate(&neighbors);
+        evaluations += neighbors.len();
+        let i = best_of(&scored);
+        if scored[i].0 < best_dist {
+            best_params = neighbors[i];
+            (best_dist, best_measured) = scored[i];
+        }
+        iterations += 1;
+    }
+
+    if best_dist > cfg.tolerance {
+        return Err(FitError::NotConverged {
+            best_distance: best_dist,
+            tolerance: cfg.tolerance,
+            iterations,
+            evaluations,
+            worst_component: best_measured.worst_component(target).0,
+        });
+    }
+
+    let mut profile = Profile::new();
+    profile.counter_add("clone.fit.iterations", iterations as u64);
+    profile.counter_add("clone.fit.evaluations", evaluations as u64);
+    profile.counter_add("clone.fit.converged", 1);
+    profile.counter_add(
+        "clone.fit.distance_milli",
+        (best_dist * 1000.0).round() as u64,
+    );
+    Ok(FitResult {
+        workload: candidate_workload(&name, cfg.fit_scale, best_params),
+        measured: best_measured,
+        distance: best_dist,
+        iterations,
+        evaluations,
+        profile,
+    })
+}
+
+/// Serializes a successful fit as a `replay-clone/v1` JSON artifact
+/// (`"kind": "clone"`). Deliberately free of wall-clock fields: the
+/// artifact is a pure function of `(target, cfg)`, so reruns
+/// byte-compare equal.
+pub fn clone_json(cfg: &FitConfig, target: &StatProfile, fit: &FitResult) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"kind\": \"clone\",\n"
+    ));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!("  \"fit_scale\": {},\n", cfg.fit_scale));
+    s.push_str(&format!("  \"tolerance\": {},\n", json_f64(cfg.tolerance)));
+    s.push_str(&format!("  \"name\": \"{}\",\n", fit.workload.name));
+    s.push_str(&format!(
+        "  \"spec_digest\": \"{:016x}\",\n",
+        fit.workload.spec_digest()
+    ));
+    s.push_str(&format!("  \"distance\": {},\n", json_f64(fit.distance)));
+    s.push_str(&format!("  \"iterations\": {},\n", fit.iterations));
+    s.push_str(&format!("  \"evaluations\": {},\n", fit.evaluations));
+    s.push_str(&format!("  \"target\": {},\n", profile_json(target)));
+    s.push_str(&format!(
+        "  \"measured\": {},\n",
+        profile_json(&fit.measured)
+    ));
+    s.push_str(&format!(
+        "  \"params\": {}\n}}\n",
+        params_json(fit.workload.params())
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> FitConfig {
+        FitConfig {
+            fit_scale: 2_000,
+            max_iters: 6,
+            candidates_per_iter: 4,
+            ..FitConfig::default()
+        }
+    }
+
+    #[test]
+    fn suite_target_converges_immediately() {
+        // The target's own generator parameters are in the start set, so
+        // a suite-drawn target measured at fit_scale hits distance 0.
+        let cfg = quick_cfg();
+        let w = workloads::by_name("gzip").unwrap();
+        let target = StatProfile::measure(&w.segment_trace(0, cfg.fit_scale));
+        let store = TraceStore::new();
+        let fit = fit_with_store(&target, &cfg, &store).expect("converges");
+        assert_eq!(fit.iterations, 0);
+        assert_eq!(fit.distance, 0.0);
+        assert_eq!(fit.workload.params(), w.params());
+        assert_eq!(fit.profile.counter("clone.fit.converged"), 1);
+    }
+
+    #[test]
+    fn impossible_tolerance_is_a_typed_error() {
+        // Tolerance 0 against a foreign-scale target cannot be met: the
+        // fitter must say so, with the best distance it reached — never
+        // return a nearest-miss workload.
+        let cfg = FitConfig {
+            tolerance: 0.0,
+            max_iters: 2,
+            candidates_per_iter: 2,
+            fit_scale: 1_500,
+            ..FitConfig::default()
+        };
+        let w = workloads::by_name("excel").unwrap();
+        // Measure at a different scale so no start point is exact.
+        let target = StatProfile::measure(&w.segment_trace(0, 3_000));
+        let store = TraceStore::new();
+        let err = fit_with_store(&target, &cfg, &store).expect_err("cannot converge");
+        let FitError::NotConverged {
+            best_distance,
+            tolerance,
+            iterations,
+            evaluations,
+            worst_component,
+        } = err;
+        assert!(best_distance > 0.0);
+        assert_eq!(tolerance, 0.0);
+        assert_eq!(iterations, 2);
+        assert_eq!(evaluations, 14 + 2 * 2);
+        assert!(!worst_component.is_empty());
+    }
+
+    #[test]
+    fn fit_is_job_count_invariant() {
+        let w = workloads::by_name("twolf").unwrap();
+        // Perturbed target: forces at least some hill-climbing.
+        let mut params = *w.params();
+        params.weights[6] += 2; // alias_store
+        params.alias_rate = 0.2;
+        let twin = Workload::custom("t", w.suite, 1, 2_000, params);
+        let target = StatProfile::measure(&twin.segment_trace(0, 2_000));
+        let cfg1 = FitConfig {
+            jobs: 1,
+            ..quick_cfg()
+        };
+        let cfg8 = FitConfig {
+            jobs: 8,
+            ..quick_cfg()
+        };
+        let a = fit_with_store(&target, &cfg1, &TraceStore::new());
+        let b = fit_with_store(&target, &cfg8, &TraceStore::new());
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => {
+                assert_eq!(ra.workload.spec_digest(), rb.workload.spec_digest());
+                assert_eq!(ra.distance.to_bits(), rb.distance.to_bits());
+                assert_eq!(ra.iterations, rb.iterations);
+                assert_eq!(ra.evaluations, rb.evaluations);
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            (a, b) => panic!("jobs changed the outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn clone_name_is_deterministic_and_target_sensitive() {
+        let w = workloads::by_name("eon").unwrap();
+        let t1 = StatProfile::measure(&w.segment_trace(0, 2_000));
+        let t2 = StatProfile::measure(&w.segment_trace(0, 2_500));
+        assert_eq!(clone_name(&t1, 7), clone_name(&t1, 7));
+        assert_ne!(clone_name(&t1, 7), clone_name(&t1, 8), "seed-sensitive");
+        assert_ne!(clone_name(&t1, 7), clone_name(&t2, 7), "target-sensitive");
+    }
+
+    #[test]
+    fn perturb_changes_exactly_one_axis_and_respects_bounds() {
+        let base = *workloads::by_name("sound").unwrap().params();
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let p = perturb(&mut rng, &base);
+            assert!(p.weights.iter().sum::<u32>() > 0);
+            assert!((0.90..=0.9995).contains(&p.bias_frac));
+            assert!((0.0..=0.9).contains(&p.alias_rate));
+            assert!((0.0..=0.9).contains(&p.switch_varied));
+            assert!((8..=64).contains(&p.body_phrases));
+        }
+    }
+}

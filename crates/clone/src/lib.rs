@@ -1,0 +1,75 @@
+//! # replay-clone
+//!
+//! Profile-fitted workload cloning and adversarial stress sweeps.
+//!
+//! The paper evaluates rePLay on a fixed fourteen-workload suite. This
+//! crate inverts that: instead of hand-tuning generator parameters to hit
+//! a target behavior, it *searches* the generator-parameter space
+//! ([`replay_trace::GenParams`]) for a point whose synthesized trace
+//! matches a target [`replay_trace::StatProfile`] within tolerance —
+//! MicroGrad-style workload cloning. Two entry points:
+//!
+//! - [`fit`] — deterministic seeded hill-climb over phrase weights and
+//!   behavioral probabilities. Every candidate generation draws from
+//!   [`replay_rng::SmallRng::split_stream`] keyed by `(seed, iteration)`
+//!   and candidates are evaluated via an order-preserving parallel map,
+//!   so the result is bit-identical at any worker count. Non-convergence
+//!   is a typed [`FitError`], never a silently-returned nearest miss.
+//! - [`run_sweep`] — walks generator parameters from a benign base
+//!   toward a pathological corner (assert-storm, alias-heavy,
+//!   predictor-hostile), measures the RPO-over-RP IPC gain at every
+//!   step, and records where the gain collapses below a floor. The
+//!   result serializes as a deterministic `replay-clone/v1` JSON
+//!   artifact (no wall-clock fields), byte-identical across runs, job
+//!   counts, and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fit;
+mod sweep;
+
+pub use fit::{clone_json, fit, fit_with_store, FitConfig, FitError, FitResult};
+pub use sweep::{run_sweep, Corner, CornerResult, SweepConfig, SweepPoint, SweepResult};
+
+/// The schema tag stamped on every JSON artifact this crate emits.
+pub const SCHEMA: &str = "replay-clone/v1";
+
+/// Formats an `f64` as a JSON number (Rust's shortest-roundtrip `{:?}`
+/// output is valid JSON for every finite value).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes a [`replay_trace::GenParams`] as a JSON object — enough to
+/// regenerate the workload exactly.
+pub(crate) fn params_json(p: &replay_trace::GenParams) -> String {
+    let weights: Vec<String> = p.weights.iter().map(|w| w.to_string()).collect();
+    format!(
+        "{{\"seed\":{},\"body_phrases\":{},\"weights\":[{}],\"bias_frac\":{},\
+         \"alias_rate\":{},\"shared_callees\":{},\"switch_varied\":{},\"longflow\":{}}}",
+        p.seed,
+        p.body_phrases,
+        weights.join(","),
+        json_f64(p.bias_frac),
+        json_f64(p.alias_rate),
+        p.shared_callees,
+        json_f64(p.switch_varied),
+        p.longflow,
+    )
+}
+
+/// Serializes a [`replay_trace::StatProfile`] as a JSON object keyed by
+/// dimension name.
+pub(crate) fn profile_json(p: &replay_trace::StatProfile) -> String {
+    let fields: Vec<String> = p
+        .components()
+        .iter()
+        .map(|(name, v)| format!("\"{}\":{}", name.replace('.', "_"), json_f64(*v)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}

@@ -198,6 +198,54 @@ pub fn ipc_row_jobs(w: &Workload, scale: usize, jobs: usize) -> IpcRow {
     ipc_row_from(w, &results)
 }
 
+/// The RP-versus-RPO comparison of one workload at one scale — the
+/// measurement a stress sweep takes at every step along a corner
+/// trajectory, and the signal whose collapse `replay sweep` hunts for.
+#[derive(Debug, Clone, Copy)]
+pub struct GainPoint {
+    /// IPC under the rePLay (unoptimized) configuration.
+    pub rp_ipc: f64,
+    /// IPC under rePLay + optimization.
+    pub rpo_ipc: f64,
+    /// Percent IPC increase of RPO over RP (0.0 when RP retired nothing).
+    pub rpo_gain_pct: f64,
+    /// Frame coverage under RP.
+    pub coverage: f64,
+    /// Fraction of cycles lost to assertions under RPO.
+    pub assert_cycle_frac: f64,
+}
+
+/// The two specs — RP then RPO — of one [`GainPoint`], in the order
+/// [`gain_from`] expects. Exposed separately from [`rpo_gain_jobs`] so a
+/// sweep can batch many points through a single [`run_specs`] call.
+pub fn gain_specs(w: &Workload, scale: usize) -> Vec<SimSpec> {
+    [ConfigKind::Replay, ConfigKind::ReplayOpt]
+        .into_iter()
+        .map(|kind| SimSpec::for_workload(w, scale, SimConfig::new(kind).without_verify()))
+        .collect()
+}
+
+/// Folds a consecutive `(RP, RPO)` result pair into a [`GainPoint`].
+pub fn gain_from(rp: &SimResult, rpo: &SimResult) -> GainPoint {
+    GainPoint {
+        rp_ipc: rp.ipc(),
+        rpo_ipc: rpo.ipc(),
+        rpo_gain_pct: if rp.ipc() > 0.0 {
+            (rpo.ipc() / rp.ipc() - 1.0) * 100.0
+        } else {
+            0.0
+        },
+        coverage: rp.coverage,
+        assert_cycle_frac: rpo.bins.fraction(CycleBin::Assert),
+    }
+}
+
+/// One workload's [`GainPoint`] with an explicit worker count.
+pub fn rpo_gain_jobs(w: &Workload, scale: usize, jobs: usize) -> GainPoint {
+    let results = run_specs(&gain_specs(w, scale), jobs);
+    gain_from(&results[0], &results[1])
+}
+
 /// A row of the Figures 7/8 cycle breakdown: RP and RPO bins side by side.
 #[derive(Debug, Clone)]
 pub struct BreakdownRow {
@@ -536,7 +584,7 @@ mod tests {
             assert_eq!(p.x86_retired, s.x86_retired, "{kind}");
             assert_eq!(p.coverage.to_bits(), s.coverage.to_bits(), "{kind}");
             let reference =
-                run_workload_config(&direct, w.name, &SimConfig::new(kind).without_verify());
+                run_workload_config(&direct, &w.name, &SimConfig::new(kind).without_verify());
             assert_eq!(p.cycles, reference.cycles, "{kind} vs legacy serial path");
             assert_eq!(
                 p.ipc().to_bits(),

@@ -40,8 +40,12 @@ fn trace_key(workload: &Workload, segment: usize, scale: usize) -> u64 {
     d.finish()
 }
 
-/// A memoization key: workload name, segment index, per-segment scale.
-type Key = (&'static str, usize, usize);
+/// A memoization key: workload specification digest, segment index,
+/// per-segment scale. The *digest* — not the name — keys the cache, so
+/// two workloads that share a name but differ in generation parameters
+/// (exactly what `replay clone` and `replay sweep` produce) never serve
+/// each other's traces.
+type Key = (u64, usize, usize);
 
 /// A process-wide cache of synthesized traces, shared via [`Arc`].
 ///
@@ -101,7 +105,7 @@ impl TraceStore {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let cell = {
             let mut map = self.segments.lock().expect("trace store poisoned");
-            map.entry((workload.name, segment, scale))
+            map.entry((workload.spec_digest(), segment, scale))
                 .or_default()
                 .clone()
         };
@@ -250,6 +254,28 @@ mod tests {
         assert_eq!(p.counter("tracestore.requests"), 3);
         assert_eq!(p.counter("tracestore.generations"), 1);
         assert_eq!(p.counter("tracestore.hits"), 2);
+    }
+
+    #[test]
+    fn same_name_different_params_do_not_collide() {
+        // Regression: the memoization key once used the workload *name*,
+        // so a synthesized clone sharing a suite name would be served the
+        // suite workload's trace. The key is now the spec digest.
+        let store = TraceStore::new();
+        let w = workloads::by_name("gzip").unwrap();
+        let mut params = *w.params();
+        params.seed ^= 0xdead_beef;
+        let twin = Workload::custom(
+            w.name.clone(),
+            w.suite,
+            w.segments,
+            w.default_segment_len,
+            params,
+        );
+        let a = store.segment(&w, 0, 500);
+        let b = store.segment(&twin, 0, 500);
+        assert_eq!(store.generations(), 2, "distinct specs synthesize twice");
+        assert_ne!(a.records(), b.records(), "distinct traces served");
     }
 
     #[test]

@@ -39,12 +39,14 @@
 
 mod builder;
 mod io;
+mod profile;
 mod record;
 mod stats;
 pub mod workloads;
 
 pub use builder::ProgramBuilder;
 pub use io::{read_trace, trace_digest, write_trace, TraceIoError, FORMAT_VERSION};
+pub use profile::{StatProfile, PROFILE_DIMS, REDUNDANCY_WINDOW};
 pub use record::{Trace, TraceRecord};
 pub use stats::{InstClass, TraceStats};
-pub use workloads::{Suite, Workload};
+pub use workloads::{GenParams, Suite, Workload, PHRASE_NAMES};

@@ -236,6 +236,52 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::of(&Trace::new("empty", Vec::new()));
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.static_instructions, 0);
+        assert_eq!(s.cond_branches, 0);
+        assert_eq!(s.biased_branches, 0);
+        assert_eq!(s.data_lines, 0);
+        assert_eq!(s.mem_transactions, 0);
+        assert!(s.mix.is_empty());
+        // mix_fraction must not divide by zero.
+        for c in InstClass::ALL {
+            assert_eq!(s.mix_fraction(c), 0.0);
+        }
+        // And the report renders without panicking.
+        assert!(s.report().contains("0 dynamic"));
+    }
+
+    #[test]
+    fn single_class_trace_has_unit_fraction() {
+        use crate::TraceRecord;
+        use replay_x86::Gpr;
+        // A hand-built trace of nothing but ALU instructions.
+        let records: Vec<TraceRecord> = (0..10)
+            .map(|i| TraceRecord {
+                addr: 0x40_0000 + 2 * i,
+                len: 2,
+                inst: Inst::IncR { r: Gpr::Eax },
+                next_pc: 0x40_0000 + 2 * (i + 1),
+                reg_writes: vec![(0, i + 1)],
+                mem_reads: Vec::new(),
+                mem_writes: Vec::new(),
+                flags_after: 0,
+            })
+            .collect();
+        let s = TraceStats::of(&Trace::new("alu-only", records));
+        assert_eq!(s.instructions, 10);
+        assert_eq!(s.mix.len(), 1);
+        assert_eq!(s.mix_fraction(InstClass::Alu), 1.0);
+        // Absent classes report exactly 0, not NaN or a missing-key panic.
+        assert_eq!(s.mix_fraction(InstClass::Load), 0.0);
+        assert_eq!(s.mix_fraction(InstClass::CondBranch), 0.0);
+        assert_eq!(s.cond_branches, 0);
+        assert_eq!(s.mem_transactions, 0);
+    }
+
+    #[test]
     fn classify_specific_instructions() {
         use replay_x86::{AluOp, Gpr, MemOperand};
         assert_eq!(

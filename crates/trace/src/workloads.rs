@@ -85,25 +85,48 @@ const PHRASES: [Phrase; 13] = [
 ];
 
 /// Per-application generation parameters.
-#[derive(Debug, Clone, Copy)]
-struct Profile {
-    seed: u64,
+///
+/// Public so the profile-fitting subsystem (`replay-clone`) can search
+/// this space directly: a point in `GenParams` *is* a synthetic program,
+/// and [`Workload::custom`] turns one into a runnable [`Workload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenParams {
+    /// Seed of the workload's own phrase/table generator.
+    pub seed: u64,
     /// Number of phrases in the loop body.
-    body_phrases: usize,
-    /// Weights over [`PHRASES`], in declaration order.
-    weights: [u32; 13],
+    pub body_phrases: usize,
+    /// Weights over the 13 phrases, in [`PHRASE_NAMES`] order.
+    pub weights: [u32; 13],
     /// Probability a biased-branch table entry points the dominant way.
-    bias_frac: f64,
+    pub bias_frac: f64,
     /// Probability a pointer-table entry aliases the hot slot.
-    alias_rate: f64,
+    pub alias_rate: f64,
     /// Desktop style: leaf functions shared between call sites (their
     /// `RET`s see multiple return targets and terminate frames).
-    shared_callees: bool,
+    pub shared_callees: bool,
     /// Probability a switch-table entry selects a non-dominant case.
-    switch_varied: f64,
+    pub switch_varied: f64,
     /// Emit a rare serializing long-flow instruction.
-    longflow: bool,
+    pub longflow: bool,
 }
+
+/// Human-readable names of the 13 phrase-weight slots, in the order
+/// [`GenParams::weights`] uses.
+pub const PHRASE_NAMES: [&str; 13] = [
+    "leaf_call",
+    "redundant_loads",
+    "stack_spill",
+    "arith_chain",
+    "biased_branch",
+    "unbiased_branch",
+    "alias_store",
+    "table_walk",
+    "store_burst",
+    "nop_pad",
+    "div_chain",
+    "switch_jump",
+    "branch_maze",
+];
 
 /// Version of the synthetic-workload generator. Bump whenever
 /// [`build_program`] or the phrase vocabulary changes the traces a given
@@ -115,8 +138,8 @@ pub const GENERATOR_VERSION: u32 = 1;
 /// A named synthetic workload.
 #[derive(Debug, Clone)]
 pub struct Workload {
-    /// Application name (paper Table 1).
-    pub name: &'static str,
+    /// Application name (paper Table 1, or a synthesized clone's name).
+    pub name: String,
     /// Benchmark suite.
     pub suite: Suite,
     /// Number of trace segments (paper Table 1: desktop applications ship
@@ -125,10 +148,35 @@ pub struct Workload {
     /// Default dynamic length per segment, in x86 instructions (scaled
     /// down from the paper's 50–300 M).
     pub default_segment_len: usize,
-    profile: Profile,
+    params: GenParams,
 }
 
 impl Workload {
+    /// Builds a workload directly from generation parameters — the entry
+    /// point for synthesized (cloned/swept) workloads that are not part of
+    /// the pinned Table 1 suite.
+    pub fn custom(
+        name: impl Into<String>,
+        suite: Suite,
+        segments: usize,
+        default_segment_len: usize,
+        params: GenParams,
+    ) -> Workload {
+        assert!(segments >= 1, "workload needs at least one segment");
+        Workload {
+            name: name.into(),
+            suite,
+            segments,
+            default_segment_len,
+            params,
+        }
+    }
+
+    /// The generation parameters this workload's programs are built from.
+    pub fn params(&self) -> &GenParams {
+        &self.params
+    }
+
     /// Builds the program (and data image) for one trace segment.
     ///
     /// # Panics
@@ -136,11 +184,11 @@ impl Workload {
     /// Panics if `segment >= self.segments`.
     pub fn segment_program(&self, segment: usize) -> (Program, Vec<(u32, Vec<u8>)>) {
         assert!(segment < self.segments, "segment out of range");
-        let mut profile = self.profile;
-        profile.seed = profile
+        let mut params = self.params;
+        params.seed = params
             .seed
             .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(segment as u64 + 1));
-        build_program(&profile)
+        build_program(&params)
     }
 
     /// Generates one segment's dynamic trace of at most `max_x86`
@@ -192,14 +240,14 @@ impl Workload {
     pub fn spec_digest(&self) -> u64 {
         let mut d = replay_store::Digest64::new();
         d.write_u32(GENERATOR_VERSION);
-        d.write_str(self.name);
+        d.write_str(&self.name);
         d.write_u8(match self.suite {
             Suite::SpecInt => 0,
             Suite::Desktop => 1,
         });
         d.write_usize(self.segments);
         d.write_usize(self.default_segment_len);
-        let p = &self.profile;
+        let p = &self.params;
         d.write_u64(p.seed);
         d.write_usize(p.body_phrases);
         for w in p.weights {
@@ -216,8 +264,8 @@ impl Workload {
 
 /// All fourteen workloads, in the paper's Table 1 order.
 pub fn all() -> Vec<Workload> {
-    // One argument per Table 1 / Profile column; a struct would just
-    // duplicate `Profile` field-for-field.
+    // One argument per Table 1 / GenParams column; a struct would just
+    // duplicate `GenParams` field-for-field.
     #[allow(clippy::too_many_arguments)]
     fn w(
         name: &'static str,
@@ -232,11 +280,11 @@ pub fn all() -> Vec<Workload> {
         switch_varied: f64,
     ) -> Workload {
         Workload {
-            name,
+            name: name.to_string(),
             suite,
             segments,
             default_segment_len,
-            profile: Profile {
+            params: GenParams {
                 seed,
                 body_phrases,
                 weights,
@@ -455,7 +503,7 @@ fn word_off(rng: &mut SmallRng) -> i32 {
     4 * rng.random_range(0..TABLE_LEN as i32)
 }
 
-fn build_program(p: &Profile) -> (Program, Vec<(u32, Vec<u8>)>) {
+fn build_program(p: &GenParams) -> (Program, Vec<(u32, Vec<u8>)>) {
     let mut rng = SmallRng::seed_from_u64(p.seed);
     let mut b = ProgramBuilder::new(CODE_BASE, DATA_BASE);
 
@@ -1067,6 +1115,119 @@ mod tests {
         // (absolute + pointer) — a genuine aliasing event.
         let max_writes = hot_addrs.values().copied().max().unwrap_or(0);
         assert!(max_writes > 100, "hot slot exists: {max_writes}");
+    }
+
+    #[test]
+    fn spec_digest_is_sensitive_to_every_parameter() {
+        // Satellite: any single-parameter change must change the digest.
+        // A digest blind to one axis would let the trace cache serve a
+        // stale trace for a perturbed clone.
+        let base = by_name("crafty").unwrap();
+        let d0 = base.spec_digest();
+
+        let rebuilt = |params: GenParams| {
+            Workload::custom(
+                base.name.clone(),
+                base.suite,
+                base.segments,
+                base.default_segment_len,
+                params,
+            )
+            .spec_digest()
+        };
+        let p0 = *base.params();
+
+        // Name / structural fields.
+        let mut w2 = base.clone();
+        w2.name = "crafty2".to_string();
+        assert_ne!(w2.spec_digest(), d0, "name");
+        assert_ne!(
+            Workload::custom(
+                base.name.clone(),
+                Suite::Desktop,
+                base.segments,
+                base.default_segment_len,
+                p0
+            )
+            .spec_digest(),
+            d0,
+            "suite"
+        );
+        assert_ne!(
+            Workload::custom(
+                base.name.clone(),
+                base.suite,
+                base.segments + 1,
+                base.default_segment_len,
+                p0
+            )
+            .spec_digest(),
+            d0,
+            "segments"
+        );
+        assert_ne!(
+            Workload::custom(
+                base.name.clone(),
+                base.suite,
+                base.segments,
+                base.default_segment_len + 1,
+                p0
+            )
+            .spec_digest(),
+            d0,
+            "default_segment_len"
+        );
+
+        // Generation parameters, one axis at a time.
+        let mut p = p0;
+        p.seed ^= 1;
+        assert_ne!(rebuilt(p), d0, "seed");
+        let mut p = p0;
+        p.body_phrases += 1;
+        assert_ne!(rebuilt(p), d0, "body_phrases");
+        for (i, phrase) in PHRASE_NAMES.iter().enumerate() {
+            let mut p = p0;
+            p.weights[i] += 1;
+            assert_ne!(rebuilt(p), d0, "weights[{i}] ({phrase})");
+        }
+        let mut p = p0;
+        p.bias_frac += 0.001;
+        assert_ne!(rebuilt(p), d0, "bias_frac");
+        let mut p = p0;
+        p.alias_rate += 0.001;
+        assert_ne!(rebuilt(p), d0, "alias_rate");
+        let mut p = p0;
+        p.shared_callees = !p.shared_callees;
+        assert_ne!(rebuilt(p), d0, "shared_callees");
+        let mut p = p0;
+        p.switch_varied += 0.001;
+        assert_ne!(rebuilt(p), d0, "switch_varied");
+        let mut p = p0;
+        p.longflow = !p.longflow;
+        assert_ne!(rebuilt(p), d0, "longflow");
+
+        // And the identity case holds: rebuilding unchanged digests equal.
+        assert_eq!(rebuilt(p0), d0, "unchanged params must digest equal");
+    }
+
+    #[test]
+    fn custom_workload_matches_suite_twin() {
+        // A `custom` workload rebuilt from a suite entry's own parameters
+        // generates the identical trace (name participates in the trace
+        // label only through Trace::name).
+        let w = by_name("gzip").unwrap();
+        let twin = Workload::custom(
+            w.name.clone(),
+            w.suite,
+            w.segments,
+            w.default_segment_len,
+            *w.params(),
+        );
+        assert_eq!(twin.spec_digest(), w.spec_digest());
+        assert_eq!(
+            twin.segment_trace(0, 2_000).records(),
+            w.segment_trace(0, 2_000).records()
+        );
     }
 
     #[test]

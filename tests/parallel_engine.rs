@@ -53,7 +53,7 @@ fn multi_segment_merge_is_order_stable() {
         .enumerate()
     {
         let reference =
-            experiment::run_workload_config(&flat, w.name, &SimConfig::new(kind).without_verify());
+            experiment::run_workload_config(&flat, &w.name, &SimConfig::new(kind).without_verify());
         for r in [&serial[i], &par[i]] {
             assert_eq!(r.cycles, reference.cycles, "{kind}");
             assert_eq!(r.x86_retired, reference.x86_retired, "{kind}");
