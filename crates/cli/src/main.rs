@@ -24,7 +24,7 @@
 use replay_core::{optimize, AliasProfile, OptConfig};
 use replay_frame::{ConstructorConfig, FrameConstructor, RetireEvent};
 use replay_sim::experiment::{self, SimSpec};
-use replay_sim::{parallel, simulate, ConfigKind, Injector, SimConfig, TraceStore};
+use replay_sim::{parallel, simulate, ConfigKind, CoreModel, Injector, SimConfig, TraceStore};
 use replay_timing::CycleBin;
 use replay_trace::{read_trace, workloads, write_trace, Trace};
 use std::process::ExitCode;
@@ -177,6 +177,10 @@ const JOBS_FLAG: FlagSpec = flag(&["jobs", "threads", "j"], "N");
 const CACHE_DIR_FLAG: FlagSpec = flag(&["cache-dir"], "DIR");
 const NO_STORE_FLAG: FlagSpec = flag(&["no-store"], "");
 
+/// The shared `--core-model MODEL` execution-core selector (`generic` or
+/// `port`; see `replay-timing`'s `ports` module).
+const CORE_MODEL_FLAG: FlagSpec = flag(&["core-model"], "MODEL");
+
 /// A subcommand's full option vocabulary. [`Opts::parse`] rejects any
 /// option outside it, naming the valid set — a misspelled flag (`--case`
 /// for `--cases`) is an error, never a silent no-op. Usage text (both
@@ -287,6 +291,7 @@ const SPEC_SIM: CmdSpec = CmdSpec {
     flags: &[
         flag(&["c"], "CFG"),
         flag(&["n"], "N"),
+        CORE_MODEL_FLAG,
         flag(&["verify"], ""),
         flag(&["profile"], ""),
         flag(&["timings"], ""),
@@ -301,6 +306,7 @@ const SPEC_COMPARE: CmdSpec = CmdSpec {
     flags: &[
         flag(&["n"], "N"),
         JOBS_FLAG,
+        CORE_MODEL_FLAG,
         flag(&["profile"], ""),
         flag(&["timings"], ""),
         CACHE_DIR_FLAG,
@@ -371,10 +377,11 @@ const SPEC_REPORT: CmdSpec = CmdSpec {
     name: "report",
     positional: "<workload|FILE>",
     about: "run all four configurations and emit the structured observability \
-            profile (replay-report/v2 JSON; stdout or FILE)",
+            profile (replay-report/v3 JSON; stdout or FILE)",
     flags: &[
         flag(&["n"], "N"),
         JOBS_FLAG,
+        CORE_MODEL_FLAG,
         flag(&["json"], "FILE"),
         flag(&["timings"], ""),
         CACHE_DIR_FLAG,
@@ -386,7 +393,7 @@ const SPEC_SERVE: CmdSpec = CmdSpec {
     name: "serve",
     positional: "",
     about: "run the TCP simulation service: batches submitted requests onto the \
-            shared worker pool and answers each with the replay-report/v2 bytes \
+            shared worker pool and answers each with the replay-report/v3 bytes \
             a local `replay report --json` would produce",
     flags: &[
         flag(&["addr"], "ADDR"),
@@ -668,6 +675,16 @@ fn config_by_label(label: &str) -> Result<ConfigKind, String> {
         .ok_or_else(|| format!("unknown configuration {label:?} (IC, TC, RP, RPO)"))
 }
 
+/// Resolves the shared `--core-model` flag: absent means the generic
+/// (class-banked) model, matching every pre-flag invocation byte for byte.
+fn core_model_opt(opts: &Opts) -> Result<CoreModel, String> {
+    match opts.get("core-model") {
+        None => Ok(CoreModel::Generic),
+        Some(label) => CoreModel::from_label(label)
+            .ok_or_else(|| format!("unknown core model {label:?} (generic, port)")),
+    }
+}
+
 fn cmd_sim(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &SPEC_SIM)?;
     let [source] = opts.positional[..] else {
@@ -675,16 +692,18 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     };
     let n = opts.count("n", 30_000)?;
     let kind = config_by_label(opts.get("c").unwrap_or("RPO"))?;
+    let model = core_model_opt(&opts)?;
     configure_store(&opts);
     let trace = load_trace(source, n, 0)?;
-    let mut cfg = SimConfig::new(kind);
+    let mut cfg = SimConfig::new(kind).with_core_model(model);
     if !opts.has("verify") {
         cfg = cfg.without_verify();
     }
     let r = simulate(&trace, &cfg);
     println!("trace `{}`: {} x86 instructions", trace.name, trace.len());
     println!(
-        "configuration {kind}: {} cycles, IPC {:.3}",
+        "configuration {kind} ({} core): {} cycles, IPC {:.3}",
+        model.label(),
         r.cycles,
         r.ipc()
     );
@@ -726,14 +745,16 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     };
     let n = opts.count("n", 30_000)?;
     let jobs = opts.jobs()?;
+    let model = core_model_opt(&opts)?;
     configure_store(&opts);
     let trace = load_trace(source, n, 0)?;
     println!(
-        "trace `{}`: {} x86 instructions ({} worker{})",
+        "trace `{}`: {} x86 instructions ({} worker{}, {} core)",
         trace.name,
         trace.len(),
         jobs,
-        if jobs == 1 { "" } else { "s" }
+        if jobs == 1 { "" } else { "s" },
+        model.label()
     );
     // One spec per configuration over the shared trace: the four
     // simulations run concurrently and print in ConfigKind::ALL order.
@@ -742,7 +763,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         .map(|kind| SimSpec {
             name: trace.name.clone(),
             traces: vec![Arc::clone(&trace)],
-            cfg: SimConfig::new(kind).without_verify(),
+            cfg: SimConfig::new(kind).without_verify().with_core_model(model),
         })
         .collect();
     let results = experiment::run_specs(&specs, jobs);
@@ -792,12 +813,13 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let n = opts.count("n", 30_000)?;
     let jobs = opts.jobs()?;
     let timings = opts.has("timings");
+    let model = core_model_opt(&opts)?;
     configure_store(&opts);
     let trace = load_trace(source, n, 0)?;
     // The artifact renderer is shared with `replay serve` (replay-sim's
     // report module) — a served response is byte-identical to this local
     // run because both are this one code path.
-    let (results, json) = replay_sim::report::run_report(&trace, jobs, timings);
+    let (results, json) = replay_sim::report::run_report_model(&trace, jobs, timings, model);
 
     match opts.get("json") {
         Some(path) => {

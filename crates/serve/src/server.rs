@@ -404,7 +404,15 @@ fn process_batch(
         .chunks_exact(replay_sim::ConfigKind::ALL.len())
         .zip(runnable)
     {
-        let json = render_report(&trace.name, trace.len(), chunk, timings);
+        // The service always simulates the generic core model, matching a
+        // local `replay report --json` with no `--core-model` override.
+        let json = render_report(
+            &trace.name,
+            trace.len(),
+            replay_sim::CoreModel::Generic,
+            chunk,
+            timings,
+        );
         for job in jobs {
             obs.counter("serve.requests.ok", 1);
             obs.hist(

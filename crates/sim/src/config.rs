@@ -2,7 +2,7 @@
 
 use replay_core::{DatapathConfig, OptConfig};
 use replay_frame::ConstructorConfig;
-use replay_timing::TimingConfig;
+use replay_timing::{CoreModel, TimingConfig};
 use std::fmt;
 
 /// The four processor configurations of the paper's evaluation (§6.1).
@@ -122,6 +122,13 @@ impl SimConfig {
         self
     }
 
+    /// Selects the execution-core model (builder style): the paper's
+    /// generic Table 2 unit pool or the port-accurate model.
+    pub fn with_core_model(mut self, model: CoreModel) -> SimConfig {
+        self.timing.core_model = model;
+        self
+    }
+
     /// Disables in-simulation verification (builder style).
     pub fn without_verify(mut self) -> SimConfig {
         self.verify = false;
@@ -184,6 +191,14 @@ mod tests {
             .without_verify();
         assert!(!c.opt.store_fwd);
         assert!(!c.verify);
+    }
+
+    #[test]
+    fn core_model_builder() {
+        let c = SimConfig::new(ConfigKind::ReplayOpt);
+        assert_eq!(c.timing.core_model, CoreModel::Generic);
+        let c = c.with_core_model(CoreModel::PortAccurate);
+        assert_eq!(c.timing.core_model, CoreModel::PortAccurate);
     }
 
     #[test]

@@ -17,9 +17,15 @@
 
 use crate::{parallel, simulate, ConfigKind, SimConfig, SimResult, TraceStore};
 use replay_core::OptConfig;
-use replay_timing::CycleBin;
+use replay_timing::{CoreModel, CycleBin};
 use replay_trace::{workloads, Suite, Trace, Workload};
 use std::sync::Arc;
+
+/// The standard driver configuration: verification off (the drivers
+/// reproduce figures, not soundness checks) under the given core model.
+fn cfg_model(kind: ConfigKind, model: CoreModel) -> SimConfig {
+    SimConfig::new(kind).without_verify().with_core_model(model)
+}
 
 /// One simulation request: a workload's trace segments through one
 /// configuration. [`run_specs`] simulates the segments (possibly on
@@ -161,10 +167,10 @@ fn ipc_row_from(w: &Workload, results: &[SimResult]) -> IpcRow {
 }
 
 /// The four per-configuration specs of one Figure 6 row.
-fn ipc_specs(w: &Workload, scale: usize) -> Vec<SimSpec> {
+fn ipc_specs(w: &Workload, scale: usize, model: CoreModel) -> Vec<SimSpec> {
     ConfigKind::ALL
         .into_iter()
-        .map(|kind| SimSpec::for_workload(w, scale, SimConfig::new(kind).without_verify()))
+        .map(|kind| SimSpec::for_workload(w, scale, cfg_model(kind, model)))
         .collect()
 }
 
@@ -177,9 +183,14 @@ pub fn ipc_comparison(scale: usize) -> Vec<IpcRow> {
 
 /// [`ipc_comparison`] with an explicit worker count.
 pub fn ipc_comparison_jobs(scale: usize, jobs: usize) -> Vec<IpcRow> {
+    ipc_comparison_model(scale, jobs, CoreModel::Generic)
+}
+
+/// [`ipc_comparison`] under an explicit execution-core model.
+pub fn ipc_comparison_model(scale: usize, jobs: usize, model: CoreModel) -> Vec<IpcRow> {
     let ws = workloads::all();
     TraceStore::global().prefetch(&ws, scale, jobs);
-    let specs: Vec<SimSpec> = ws.iter().flat_map(|w| ipc_specs(w, scale)).collect();
+    let specs: Vec<SimSpec> = ws.iter().flat_map(|w| ipc_specs(w, scale, model)).collect();
     let results = run_specs(&specs, jobs);
     ws.iter()
         .zip(results.chunks_exact(ConfigKind::ALL.len()))
@@ -194,7 +205,7 @@ pub fn ipc_row(w: &Workload, scale: usize) -> IpcRow {
 
 /// [`ipc_row`] with an explicit worker count.
 pub fn ipc_row_jobs(w: &Workload, scale: usize, jobs: usize) -> IpcRow {
-    let results = run_specs(&ipc_specs(w, scale), jobs);
+    let results = run_specs(&ipc_specs(w, scale, CoreModel::Generic), jobs);
     ipc_row_from(w, &results)
 }
 
@@ -267,6 +278,16 @@ pub fn cycle_breakdown(suite: Suite, scale: usize) -> Vec<BreakdownRow> {
 
 /// [`cycle_breakdown`] with an explicit worker count.
 pub fn cycle_breakdown_jobs(suite: Suite, scale: usize, jobs: usize) -> Vec<BreakdownRow> {
+    cycle_breakdown_model(suite, scale, jobs, CoreModel::Generic)
+}
+
+/// [`cycle_breakdown`] under an explicit execution-core model.
+pub fn cycle_breakdown_model(
+    suite: Suite,
+    scale: usize,
+    jobs: usize,
+    model: CoreModel,
+) -> Vec<BreakdownRow> {
     let ws: Vec<Workload> = workloads::all()
         .into_iter()
         .filter(|w| w.suite == suite)
@@ -276,7 +297,7 @@ pub fn cycle_breakdown_jobs(suite: Suite, scale: usize, jobs: usize) -> Vec<Brea
         .iter()
         .flat_map(|w| {
             [ConfigKind::Replay, ConfigKind::ReplayOpt]
-                .map(|kind| SimSpec::for_workload(w, scale, SimConfig::new(kind).without_verify()))
+                .map(|kind| SimSpec::for_workload(w, scale, cfg_model(kind, model)))
         })
         .collect();
     let results = run_specs(&specs, jobs);
@@ -312,13 +333,18 @@ pub fn removal_table(scale: usize) -> Vec<RemovalRow> {
 
 /// [`removal_table`] with an explicit worker count.
 pub fn removal_table_jobs(scale: usize, jobs: usize) -> Vec<RemovalRow> {
+    removal_table_model(scale, jobs, CoreModel::Generic)
+}
+
+/// [`removal_table`] under an explicit execution-core model.
+pub fn removal_table_model(scale: usize, jobs: usize, model: CoreModel) -> Vec<RemovalRow> {
     let ws = workloads::all();
     TraceStore::global().prefetch(&ws, scale, jobs);
     let specs: Vec<SimSpec> = ws
         .iter()
         .flat_map(|w| {
             [ConfigKind::Replay, ConfigKind::ReplayOpt]
-                .map(|kind| SimSpec::for_workload(w, scale, SimConfig::new(kind).without_verify()))
+                .map(|kind| SimSpec::for_workload(w, scale, cfg_model(kind, model)))
         })
         .collect();
     let results = run_specs(&specs, jobs);
@@ -369,17 +395,20 @@ pub fn scope_comparison(scale: usize) -> Vec<ScopeRow> {
 
 /// [`scope_comparison`] with an explicit worker count.
 pub fn scope_comparison_jobs(scale: usize, jobs: usize) -> Vec<ScopeRow> {
+    scope_comparison_model(scale, jobs, CoreModel::Generic)
+}
+
+/// [`scope_comparison`] under an explicit execution-core model.
+pub fn scope_comparison_model(scale: usize, jobs: usize, model: CoreModel) -> Vec<ScopeRow> {
     let ws = workloads::all();
     TraceStore::global().prefetch(&ws, scale, jobs);
     let specs: Vec<SimSpec> = ws
         .iter()
         .flat_map(|w| {
             [
-                SimConfig::new(ConfigKind::Replay).without_verify(),
-                SimConfig::new(ConfigKind::ReplayOpt)
-                    .with_opt(OptConfig::block_scope())
-                    .without_verify(),
-                SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
+                cfg_model(ConfigKind::Replay, model),
+                cfg_model(ConfigKind::ReplayOpt, model).with_opt(OptConfig::block_scope()),
+                cfg_model(ConfigKind::ReplayOpt, model),
             ]
             .map(|cfg| SimSpec::for_workload(w, scale, cfg))
         })
@@ -437,6 +466,16 @@ pub fn ablation(apps: &[&str], scale: usize) -> Vec<AblationRow> {
 
 /// [`ablation`] with an explicit worker count.
 pub fn ablation_jobs(apps: &[&str], scale: usize, jobs: usize) -> Vec<AblationRow> {
+    ablation_model(apps, scale, jobs, CoreModel::Generic)
+}
+
+/// [`ablation`] under an explicit execution-core model.
+pub fn ablation_model(
+    apps: &[&str],
+    scale: usize,
+    jobs: usize,
+    model: CoreModel,
+) -> Vec<AblationRow> {
     let ws: Vec<Workload> = apps
         .iter()
         .map(|name| workloads::by_name(name).expect("known workload"))
@@ -448,13 +487,11 @@ pub fn ablation_jobs(apps: &[&str], scale: usize, jobs: usize) -> Vec<AblationRo
         .iter()
         .flat_map(|w| {
             let mut cfgs = vec![
-                SimConfig::new(ConfigKind::Replay).without_verify(),
-                SimConfig::new(ConfigKind::ReplayOpt).without_verify(),
+                cfg_model(ConfigKind::Replay, model),
+                cfg_model(ConfigKind::ReplayOpt, model),
             ];
             cfgs.extend(ABLATION_LABELS.iter().map(|label| {
-                SimConfig::new(ConfigKind::ReplayOpt)
-                    .with_opt(OptConfig::without(label))
-                    .without_verify()
+                cfg_model(ConfigKind::ReplayOpt, model).with_opt(OptConfig::without(label))
             }));
             cfgs.into_iter()
                 .map(|cfg| SimSpec::for_workload(w, scale, cfg))
@@ -484,6 +521,115 @@ pub fn ablation_jobs(apps: &[&str], scale: usize, jobs: usize) -> Vec<AblationRo
             }
         })
         .collect()
+}
+
+/// The seven optimizer passes as profit-ranking rows: the six Figure 10
+/// leave-one-out labels plus always-on dead-code elimination.
+pub const PROFIT_PASSES: [&str; 7] = ["NOP", "CP", "RA", "ASST", "SF", "CSE", "DCE"];
+
+/// One pass's measured contribution to the RPO speedup under one core
+/// model.
+#[derive(Debug, Clone, Copy)]
+pub struct PassProfit {
+    /// Pass label ([`PROFIT_PASSES`]; `SF` is the `MemoryOpt` pass).
+    pub pass: &'static str,
+    /// Profit in percentage points of RP IPC (see [`pass_profit_jobs`]
+    /// for the two measurement bases).
+    pub profit_pct: f64,
+}
+
+/// Measures every pass's profit, averaged over `apps`, under `model`.
+///
+/// Two measurement bases, both in percentage points of the RP baseline's
+/// IPC:
+///
+/// * the six ablatable passes are measured leave-one-out, as in
+///   Figure 10: `(ipc(RPO) − ipc(RPO without pass)) / ipc(RP) × 100`;
+/// * `DCE` cannot be disabled (every other pass relies on its
+///   collection), so it is measured solo:
+///   `(ipc(DCE only) − ipc(RP)) / ipc(RP) × 100`.
+///
+/// Rows come back in [`PROFIT_PASSES`] order; rank by `profit_pct` to
+/// obtain the profit ranking. Because the optimizer itself is identical
+/// under both core models (it removes the same uops), any ranking shift
+/// between models is purely a *timing* effect — which resources the
+/// removed uops would have contended for.
+pub fn pass_profit_jobs(
+    apps: &[&str],
+    scale: usize,
+    jobs: usize,
+    model: CoreModel,
+) -> Vec<PassProfit> {
+    let ws: Vec<Workload> = apps
+        .iter()
+        .map(|name| workloads::by_name(name).expect("known workload"))
+        .collect();
+    TraceStore::global().prefetch(&ws, scale, jobs);
+    // OptConfig with every ablatable pass off: only DCE (which has no
+    // flag — it is the collector the pipeline always runs) remains.
+    let dce_only = ABLATION_LABELS
+        .iter()
+        .fold(OptConfig::default(), |cfg, label| {
+            let mut c = cfg;
+            match *label {
+                "ASST" => c.assert_fuse = false,
+                "CP" => c.const_prop = false,
+                "CSE" => c.cse = false,
+                "NOP" => c.nop_removal = false,
+                "RA" => c.reassoc = false,
+                "SF" => c.store_fwd = false,
+                _ => unreachable!(),
+            }
+            c
+        });
+    // Per app: RP, RPO, six leave-one-out trials, DCE-only — one batch.
+    let specs: Vec<SimSpec> = ws
+        .iter()
+        .flat_map(|w| {
+            let mut cfgs = vec![
+                cfg_model(ConfigKind::Replay, model),
+                cfg_model(ConfigKind::ReplayOpt, model),
+            ];
+            cfgs.extend(ABLATION_LABELS.iter().map(|label| {
+                cfg_model(ConfigKind::ReplayOpt, model).with_opt(OptConfig::without(label))
+            }));
+            cfgs.push(cfg_model(ConfigKind::ReplayOpt, model).with_opt(dce_only.clone()));
+            cfgs.into_iter()
+                .map(|cfg| SimSpec::for_workload(w, scale, cfg))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let results = run_specs(&specs, jobs);
+    let per_app = 3 + ABLATION_LABELS.len();
+    let napps = ws.len().max(1) as f64;
+    let mut profit: Vec<PassProfit> = PROFIT_PASSES
+        .into_iter()
+        .map(|pass| PassProfit {
+            pass,
+            profit_pct: 0.0,
+        })
+        .collect();
+    for rs in results.chunks_exact(per_app) {
+        let rp = rs[0].ipc();
+        if rp <= 0.0 {
+            continue;
+        }
+        let rpo = rs[1].ipc();
+        let dce = rs[2 + ABLATION_LABELS.len()].ipc();
+        for p in profit.iter_mut() {
+            let pct = if p.pass == "DCE" {
+                (dce - rp) / rp * 100.0
+            } else {
+                let i = ABLATION_LABELS
+                    .iter()
+                    .position(|l| l == &p.pass)
+                    .expect("profit pass is an ablation label");
+                (rpo - rs[2 + i].ipc()) / rp * 100.0
+            };
+            p.profit_pct += pct / napps;
+        }
+    }
+    profit
 }
 
 #[cfg(test)]
@@ -560,6 +706,18 @@ mod tests {
         let rows = ablation(&["bzip2"], 3_000);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].relative.len(), ABLATION_LABELS.len());
+    }
+
+    #[test]
+    fn pass_profit_covers_all_seven_passes_under_both_models() {
+        for model in [CoreModel::Generic, CoreModel::PortAccurate] {
+            let rows = pass_profit_jobs(&["bzip2"], 3_000, 2, model);
+            assert_eq!(rows.len(), PROFIT_PASSES.len());
+            for (row, pass) in rows.iter().zip(PROFIT_PASSES) {
+                assert_eq!(row.pass, pass);
+                assert!(row.profit_pct.is_finite());
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod tracestore;
 
 pub use config::{ConfigKind, SimConfig};
 pub use injector::Injector;
+pub use replay_timing::CoreModel;
 pub use result::SimResult;
 pub use runner::simulate;
 pub use tracecache::{TraceEntry, TraceFiller};

@@ -1,4 +1,4 @@
-//! The `replay-report/v2` artifact: one JSON document holding the four
+//! The `replay-report/v3` artifact: one JSON document holding the four
 //! per-configuration observability profiles, their deterministic merge,
 //! and (last) the non-reproducible cache-effectiveness section.
 //!
@@ -16,25 +16,40 @@
 //! `sim.exec.fallbacks`, `sim.exec.plans_compiled`, `sim.chunks`, and the
 //! per-pass `sim.pass.<pass>.dyn_removed_uops_specialized` split, which
 //! attributes optimization profit separately for fetches served by the
-//! specialized frame fast path. All new counters are deterministic
-//! functions of `(trace, config)`, so v2 retains v1's byte-identity across
-//! `--jobs` and cache temperature. Consumers that matched the literal
-//! schema string must accept `replay-report/v2`.
+//! specialized frame fast path.
+//!
+//! **v2 → v3 compatibility**: v3 is again a strict superset. It adds a
+//! top-level `"core_model"` key naming the execution-core model the run
+//! was simulated under (`generic` or `port`; see `replay-timing`'s
+//! `ports` module) and, when the port-accurate model is selected,
+//! per-port pressure counters `timing.port.<p>.issued` /
+//! `timing.port.<p>.contention_cycles` in each configuration's profile.
+//! Generic-model reports carry no `timing.port.*` keys. All new values
+//! are deterministic functions of `(trace, config)`, so v3 retains the
+//! byte-identity across `--jobs` and cache temperature. Consumers that
+//! matched the literal schema string must accept `replay-report/v3`.
 
 use crate::experiment::{run_specs, SimSpec};
 use crate::{ConfigKind, SimConfig, SimResult, TraceStore};
+use replay_timing::CoreModel;
 use replay_trace::Trace;
 use std::sync::Arc;
 
 /// The four-configuration spec batch for one trace, in
-/// [`ConfigKind::ALL`] order — the rows of every report.
+/// [`ConfigKind::ALL`] order — the rows of every report — under the
+/// generic core model.
 pub fn specs_for_trace(trace: &Arc<Trace>) -> Vec<SimSpec> {
+    specs_for_trace_model(trace, CoreModel::Generic)
+}
+
+/// [`specs_for_trace`] under an explicit execution-core model.
+pub fn specs_for_trace_model(trace: &Arc<Trace>, model: CoreModel) -> Vec<SimSpec> {
     ConfigKind::ALL
         .into_iter()
         .map(|kind| SimSpec {
             name: trace.name.clone(),
             traces: vec![Arc::clone(trace)],
-            cfg: SimConfig::new(kind).without_verify(),
+            cfg: SimConfig::new(kind).without_verify().with_core_model(model),
         })
         .collect()
 }
@@ -68,8 +83,8 @@ pub fn store_profile() -> replay_obs::Profile {
     obs.into_profile()
 }
 
-/// Renders the `replay-report/v2` JSON document from the four
-/// per-configuration results of [`specs_for_trace`].
+/// Renders the `replay-report/v3` JSON document from the four
+/// per-configuration results of [`specs_for_trace_model`].
 ///
 /// Stable machine-readable schema: per-configuration profiles plus the
 /// deterministic cross-configuration merge. Worker count and wall time
@@ -77,11 +92,18 @@ pub fn store_profile() -> replay_obs::Profile {
 /// byte-identical run to run at any `--jobs` — except for the final
 /// `store` section, which reports this process's cache effectiveness and
 /// is stripped by comparers ([`strip_store_section`]).
-pub fn render_report(workload: &str, scale: usize, results: &[SimResult], timings: bool) -> String {
+pub fn render_report(
+    workload: &str,
+    scale: usize,
+    model: CoreModel,
+    results: &[SimResult],
+    timings: bool,
+) -> String {
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"replay-report/v2\",\n");
+    json.push_str("{\n  \"schema\": \"replay-report/v3\",\n");
     json.push_str(&format!("  \"workload\": \"{workload}\",\n"));
     json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"core_model\": \"{}\",\n", model.label()));
     json.push_str("  \"configs\": {\n");
     for (i, (kind, r)) in ConfigKind::ALL.into_iter().zip(results).enumerate() {
         if i > 0 {
@@ -108,18 +130,29 @@ pub fn render_report(workload: &str, scale: usize, results: &[SimResult], timing
     json
 }
 
-/// Runs all four configurations of `trace` on `jobs` workers and renders
-/// the report. Returns the per-configuration results (for human-facing
-/// summaries) alongside the JSON bytes.
+/// Runs all four configurations of `trace` on `jobs` workers under the
+/// generic core model and renders the report. Returns the
+/// per-configuration results (for human-facing summaries) alongside the
+/// JSON bytes.
 pub fn run_report(trace: &Arc<Trace>, jobs: usize, timings: bool) -> (Vec<SimResult>, String) {
-    let specs = specs_for_trace(trace);
+    run_report_model(trace, jobs, timings, CoreModel::Generic)
+}
+
+/// [`run_report`] under an explicit execution-core model.
+pub fn run_report_model(
+    trace: &Arc<Trace>,
+    jobs: usize,
+    timings: bool,
+    model: CoreModel,
+) -> (Vec<SimResult>, String) {
+    let specs = specs_for_trace_model(trace, model);
     let results = run_specs(&specs, jobs);
-    let json = render_report(&trace.name, trace.len(), &results, timings);
+    let json = render_report(&trace.name, trace.len(), model, &results, timings);
     (results, json)
 }
 
 /// Removes the trailing non-reproducible `"store"` section from a
-/// `replay-report/v2` document, restoring the closing brace. Two reports
+/// `replay-report/v3` document, restoring the closing brace. Two reports
 /// of the same workload at the same scale compare byte-identical after
 /// this, regardless of worker count or cache temperature. Documents
 /// without a `store` section pass through unchanged.
@@ -158,5 +191,22 @@ mod tests {
         assert!(stripped.ends_with("\n}\n"), "closing brace restored");
         // Idempotent on already-stripped documents.
         assert_eq!(strip_store_section(&stripped), stripped);
+    }
+
+    #[test]
+    fn port_model_report_carries_port_counters_and_generic_does_not() {
+        let trace = Arc::new(workloads::by_name("gzip").unwrap().segment_trace(0, 1_000));
+        let (_, generic) = run_report_model(&trace, 1, false, CoreModel::Generic);
+        let (_, port) = run_report_model(&trace, 1, false, CoreModel::PortAccurate);
+        assert!(generic.contains("\"core_model\": \"generic\""));
+        assert!(port.contains("\"core_model\": \"port\""));
+        assert!(!generic.contains("timing.port."));
+        assert!(port.contains("timing.port.p0.issued"));
+        assert!(port.contains("timing.port.p23.issued"));
+        assert_ne!(
+            strip_store_section(&generic),
+            strip_store_section(&port),
+            "the two core models time the machine differently"
+        );
     }
 }

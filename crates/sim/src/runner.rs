@@ -723,6 +723,10 @@ impl<'a> Runner<'a> {
             .observe_into("constructor", &mut self.obs);
         pstats.observe_into("pipeline", &mut self.obs);
         self.pipeline.bins().observe_into("cycles", &mut self.obs);
+        // Per-port pressure (`timing.port.*`): recorded only by the
+        // port-accurate core model, so generic-model profiles are
+        // unchanged by the model's existence.
+        self.pipeline.observe_ports(&mut self.obs);
         let vstats = self.verifier.stats();
         self.obs.counter("verify.checked", vstats.checked);
         self.obs.counter("verify.passed", vstats.passed);

@@ -1,6 +1,7 @@
 //! Processor configuration (paper Table 2).
 
 use crate::cache::CacheConfig;
+use crate::ports::{CoreModel, PortConfigError, PortTable};
 
 /// The timing model's processor parameters.
 ///
@@ -13,17 +14,25 @@ pub struct TimingConfig {
     /// Maximum x86 instructions decoded per cycle on the ICache path
     /// (paper: 4).
     pub x86_decode_width: usize,
-    /// Minimum cycles between fetching a branch and its earliest possible
-    /// execution (paper: 15).
+    /// Minimum cycles between fetching a branch (or assert) and its
+    /// earliest possible execution (paper: 15). Applies only to
+    /// branch/assert uops; other uops are floored by the shallower
+    /// [`TimingConfig::front_end_depth`].
     pub branch_resolution_depth: u64,
+    /// Front-end pipeline depth: minimum cycles between fetching *any*
+    /// uop and its earliest possible execution (fetch → decode → rename →
+    /// schedule). The paper specifies only the branch-resolution number;
+    /// 8 models a front end roughly half that deep.
+    pub front_end_depth: u64,
     /// Scheduling-window capacity in uops (paper: 512).
     pub window: usize,
     /// Number of single-cycle integer ALUs (paper: 6).
     pub simple_alus: usize,
     /// Number of multi-cycle integer units (paper: 2).
     pub complex_alus: usize,
-    /// Number of floating-point units (paper: 3; unused by the integer
-    /// workloads but part of the configuration).
+    /// Number of floating-point units (paper: 3). The integer-only uop
+    /// ISA never routes to them, so neither core model instantiates an
+    /// FPU bank; the count is retained as Table 2 bookkeeping.
     pub fpus: usize,
     /// Number of load/store units (paper: 4).
     pub ldst_units: usize,
@@ -50,6 +59,12 @@ pub struct TimingConfig {
     pub mul_latency: u64,
     /// Latency of `DIV`/`REM`.
     pub div_latency: u64,
+    /// Which execution-core model schedules uops (see the `ports`
+    /// module). `Generic` reproduces the paper's Table 2 unit pool.
+    pub core_model: CoreModel,
+    /// Per-opcode port bindings and latencies used when `core_model` is
+    /// [`CoreModel::PortAccurate`].
+    pub port_table: PortTable,
 }
 
 impl TimingConfig {
@@ -59,7 +74,6 @@ impl TimingConfig {
         TimingConfig {
             width: 8,
             x86_decode_width: 4,
-            branch_resolution_depth: 15,
             window: 512,
             simple_alus: 6,
             complex_alus: 2,
@@ -88,6 +102,10 @@ impl TimingConfig {
             cache_switch_wait: 1,
             mul_latency: 3,
             div_latency: 12,
+            branch_resolution_depth: 15,
+            front_end_depth: 8,
+            core_model: CoreModel::Generic,
+            port_table: PortTable::uops_info(),
         }
     }
 
@@ -102,6 +120,17 @@ impl TimingConfig {
             },
             frame_cache_uops: 0,
             ..TimingConfig::paper_default()
+        }
+    }
+
+    /// Validates the configuration for the selected core model: under
+    /// [`CoreModel::PortAccurate`], every opcode must bind at least one
+    /// issue port with non-zero latency and occupancy (the generic model's
+    /// unit counts are checked at pool construction).
+    pub fn validate(&self) -> Result<(), PortConfigError> {
+        match self.core_model {
+            CoreModel::Generic => Ok(()),
+            CoreModel::PortAccurate => self.port_table.validate(),
         }
     }
 }
@@ -135,6 +164,28 @@ mod tests {
         assert_eq!(c.memory_latency, 50);
         assert_eq!(c.frame_cache_uops, 16 * 1024);
         assert_eq!(c.icache.size_bytes, 8 * 1024);
+        assert_eq!(c.core_model, CoreModel::Generic);
+        assert!(c.front_end_depth < c.branch_resolution_depth);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn port_model_validates_its_table() {
+        let mut c = TimingConfig::paper_default();
+        c.core_model = CoreModel::PortAccurate;
+        assert!(c.validate().is_ok());
+        c.port_table.set_binding(
+            replay_uop::Opcode::Load,
+            crate::ports::PortBinding {
+                ports: crate::ports::PortSet::NONE,
+                latency: 1,
+                occupancy: 1,
+            },
+        );
+        assert_eq!(
+            c.validate(),
+            Err(PortConfigError::UnboundOpcode(replay_uop::Opcode::Load))
+        );
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! * 32 kB L1 data cache (2-cycle hit), 512 kB L2 (10-cycle), 50-cycle
 //!   memory, and an 8 kB (or 64 kB) instruction cache.
 //!
+//! Two selectable execution-core models sit behind the [`PortScheduler`]
+//! trait ([`CoreModel`]): the paper's class-banked unit pool above, and a
+//! port- and latency-accurate model (`ports` module) with named issue
+//! ports and uops.info-seeded per-opcode tables for re-evaluating the
+//! paper's results on a modern port-constrained machine.
+//!
 //! The model is *fetch-centric*: every cycle is attributed to exactly one
 //! of the seven bins of the paper's Figures 7/8 — `assert`, `mispred`,
 //! `miss`, `stall`, `wait`, `frame`, `icache` — making the cycle-breakdown
@@ -30,6 +36,7 @@ mod cache;
 mod config;
 mod pipeline;
 mod pool;
+mod ports;
 mod predictor;
 
 pub use accounting::{CycleBin, CycleBins};
@@ -37,4 +44,8 @@ pub use cache::{Cache, CacheConfig};
 pub use config::TimingConfig;
 pub use pipeline::{FetchPath, FrameFetch, Pipeline, PipelineStats, X86Fetch};
 pub use pool::FuPool;
+pub use ports::{
+    CoreModel, GenericScheduler, Port, PortAccurateScheduler, PortBinding, PortConfigError,
+    PortScheduler, PortSet, PortTable,
+};
 pub use predictor::{Btb, Gshare};

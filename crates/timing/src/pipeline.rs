@@ -12,7 +12,7 @@
 use crate::accounting::{CycleBin, CycleBins};
 use crate::cache::Cache;
 use crate::config::TimingConfig;
-use crate::pool::FuPool;
+use crate::ports::{CoreModel, GenericScheduler, PortAccurateScheduler, PortScheduler};
 use crate::predictor::{Btb, Gshare};
 use replay_core::{FlagsSrc, OptFrame, Src};
 use replay_uop::{Opcode, Uop, NUM_ARCH_REGS};
@@ -127,15 +127,20 @@ pub struct Pipeline {
     last_path: Option<FetchPath>,
     reg_ready: [u64; NUM_ARCH_REGS],
     flags_ready: u64,
-    fu: FuPool,
+    sched: Box<dyn PortScheduler>,
     retire_ring: VecDeque<u64>,
     retire_cycle: u64,
     retire_used: usize,
-    /// Completion time of the youngest in-flight store per address: loads
-    /// to the same word must wait for the store's data (store-buffer
-    /// forwarding). Without this, removing a load via store forwarding
-    /// would *lengthen* the modeled dependence chain instead of shortening
-    /// the machine's work.
+    /// Completion time of the youngest in-flight store per *aligned
+    /// 4-byte word*: loads touching the same word must wait for the
+    /// store's data (store-buffer forwarding). Every access in this ISA
+    /// is a 32-bit word, so an access at `addr` covers the aligned words
+    /// `addr & !3` and `(addr + 3) & !3` (one word when aligned, two when
+    /// straddling). Keying by exact byte address would let a load
+    /// overlapping a store at a nearby address miss the dependence.
+    /// Without this map, removing a load via store forwarding would
+    /// *lengthen* the modeled dependence chain instead of shortening the
+    /// machine's work.
     store_ready: HashMap<u32, u64>,
     icache: Cache,
     l1d: Cache,
@@ -153,16 +158,36 @@ pub struct Pipeline {
     frame_completions: Vec<u64>,
 }
 
+/// The aligned 4-byte words a 32-bit access at `addr` touches: one entry
+/// when aligned, two when the access straddles a word boundary.
+fn access_words(addr: u32) -> [u32; 2] {
+    [addr & !3, addr.wrapping_add(3) & !3]
+}
+
 impl Pipeline {
     /// Creates a pipeline for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TimingConfig::validate`] rejects the configuration
+    /// (e.g. a port-accurate table with an unbound opcode).
     pub fn new(cfg: TimingConfig) -> Pipeline {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid timing configuration: {e}");
+        }
+        let sched: Box<dyn PortScheduler> = match cfg.core_model {
+            CoreModel::Generic => Box::new(GenericScheduler::new(&cfg)),
+            CoreModel::PortAccurate => {
+                Box::new(PortAccurateScheduler::new(cfg.port_table).expect("validated above"))
+            }
+        };
         Pipeline {
             icache: Cache::new(cfg.icache),
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
             gshare: Gshare::new(cfg.gshare_bits),
             btb: Btb::new(12),
-            fu: FuPool::new(cfg.simple_alus, cfg.complex_alus, cfg.fpus, cfg.ldst_units),
+            sched,
             cycle: 0,
             cycle_bin: None,
             slot_uops: 0,
@@ -319,27 +344,22 @@ impl Pipeline {
         }
     }
 
-    fn op_latency(&self, op: Opcode) -> u64 {
-        match op {
-            Opcode::Mul => self.cfg.mul_latency,
-            Opcode::Div | Opcode::Rem => self.cfg.div_latency,
-            _ => 1,
-        }
-    }
-
-    fn op_occupancy(&self, op: Opcode) -> u64 {
-        match op {
-            // The divider is not pipelined.
-            Opcode::Div | Opcode::Rem => self.cfg.div_latency,
-            _ => 1,
-        }
-    }
-
     /// Schedules one uop given its fetch cycle and operand-ready time.
     /// Returns its completion time.
+    ///
+    /// The pipeline-depth floor is split per the `config.rs` contract:
+    /// every uop waits at least `front_end_depth` cycles after fetch
+    /// (decode/rename/schedule), while branch and assert uops wait the
+    /// full `branch_resolution_depth` — the paper's "minimum cycles
+    /// between fetching a branch and its earliest possible execution".
     fn execute(&mut self, op: Opcode, fetch: u64, ready: u64, mem_addr: Option<u32>) -> u64 {
-        let earliest = ready.max(fetch + self.cfg.branch_resolution_depth);
-        let issue = self.fu.issue(op.class(), earliest, self.op_occupancy(op));
+        let depth = if op.is_branch() || op.is_assert() {
+            self.cfg.branch_resolution_depth
+        } else {
+            self.cfg.front_end_depth
+        };
+        let earliest = ready.max(fetch + depth);
+        let issue = self.sched.issue(op, earliest);
         let latency = match (op, mem_addr) {
             (Opcode::Load, Some(addr)) => self.dcache_latency(addr),
             (Opcode::Store, Some(addr)) => {
@@ -348,9 +368,37 @@ impl Pipeline {
                 let _ = self.dcache_latency(addr);
                 1
             }
-            _ => self.op_latency(op),
+            _ => self.sched.op_latency(op),
         };
         issue + latency
+    }
+
+    /// Operand-ready floor imposed by in-flight stores overlapping a load
+    /// at `addr` (word-granular; see `store_ready`).
+    fn load_store_wait(&self, addr: u32) -> u64 {
+        let [w0, w1] = access_words(addr);
+        let mut t = self.store_ready.get(&w0).copied().unwrap_or(0);
+        if w1 != w0 {
+            t = t.max(self.store_ready.get(&w1).copied().unwrap_or(0));
+        }
+        t
+    }
+
+    /// Records a store's completion under every word it touches.
+    fn record_store(&mut self, addr: u32, complete: u64) {
+        let [w0, w1] = access_words(addr);
+        self.store_ready.insert(w0, complete);
+        if w1 != w0 {
+            self.store_ready.insert(w1, complete);
+        }
+    }
+
+    /// Records the selected core model's per-port pressure counters
+    /// (`timing.port.*.issued` / `.contention_cycles`) into an
+    /// [`replay_obs::Obs`]. The generic model has no ports and records
+    /// nothing.
+    pub fn observe_ports(&self, obs: &mut replay_obs::Obs) {
+        self.sched.observe_into(obs);
     }
 
     // ---------------- ICache path ----------------
@@ -395,15 +443,13 @@ impl Pipeline {
             };
             if u.op == Opcode::Load {
                 if let Some(addr) = mem {
-                    if let Some(&t) = self.store_ready.get(&addr) {
-                        ready = ready.max(t);
-                    }
+                    ready = ready.max(self.load_store_wait(addr));
                 }
             }
             let complete = self.execute(u.op, fetch, ready, mem);
             if u.op == Opcode::Store {
                 if let Some(addr) = mem {
-                    self.store_ready.insert(addr, complete);
+                    self.record_store(addr, complete);
                 }
             }
             if let Some(d) = u.dst {
@@ -503,15 +549,13 @@ impl Pipeline {
             let mem = f.mem_addrs[i as usize];
             if u.op == Opcode::Load {
                 if let Some(addr) = mem {
-                    if let Some(&t) = self.store_ready.get(&addr) {
-                        ready = ready.max(t);
-                    }
+                    ready = ready.max(self.load_store_wait(addr));
                 }
             }
             let complete = self.execute(u.op, fetch, ready, mem);
             if u.op == Opcode::Store {
                 if let Some(addr) = mem {
-                    self.store_ready.insert(addr, complete);
+                    self.record_store(addr, complete);
                 }
             }
             self.frame_slot_done[i as usize] = complete;
@@ -863,6 +907,121 @@ mod tests {
         f.load_addr = Some(0x40_0000);
         p.fetch_x86(&f);
         assert!(p.reg_ready[ArchReg::Ebx.index()] < chain_done + 100);
+    }
+
+    #[test]
+    fn branch_resolution_floor_applies_only_to_branch_and_assert_uops() {
+        // Regression: the 15-cycle branch-resolution floor used to apply
+        // to *every* uop, contradicting the config contract. A plain ALU
+        // uop must now be schedulable after the shallower front-end depth,
+        // while a branch still waits the full resolution depth.
+        let c = cfg();
+        let mut p = Pipeline::new(c.clone());
+        let flow = alu_flow();
+        p.fetch_x86(&plain_fetch(0x1000, &flow));
+        let alu_done = p.reg_ready[ArchReg::Eax.index()];
+        assert_eq!(
+            alu_done,
+            p.cycle + c.front_end_depth + 1,
+            "ALU uop floored by front-end depth only"
+        );
+        assert!(alu_done < p.cycle + c.branch_resolution_depth);
+
+        // A correctly predicted not-taken branch: its resolution time is
+        // recorded without any mispredict stall.
+        let br = vec![Uop::br(Cond::Eq, 0x2000).ending_x86()];
+        p.fetch_x86(&X86Fetch {
+            addr: 0x1004,
+            uops: &br,
+            taken: Some(false),
+            indirect_target: None,
+            redirects_fetch: false,
+            load_addr: None,
+            store_addr: None,
+            path: FetchPath::ICache,
+        });
+        assert_eq!(p.stats().branches_resolved, 1);
+        assert!(
+            p.stats().branch_resolution_cycles >= c.branch_resolution_depth,
+            "branch still floored by resolution depth: {}",
+            p.stats().branch_resolution_cycles
+        );
+    }
+
+    #[test]
+    fn store_forwarding_is_word_granular() {
+        // A load overlapping a store at a *nearby* byte address (same
+        // aligned word) must see the dependence; keying by exact byte
+        // address used to miss it.
+        let mut p = Pipeline::new(cfg());
+        // Slow producer chain feeding the store's data.
+        let mut fl = Vec::new();
+        for i in 0..4u32 {
+            fl.push(vec![
+                Uop::load(ArchReg::Eax, ArchReg::Eax, i as i32).ending_x86()
+            ]);
+        }
+        for (i, flow) in fl.iter().enumerate() {
+            let mut f = plain_fetch(0x1000 + i as u32, flow);
+            f.load_addr = Some(0x20_0000 + (i as u32) * 8192);
+            p.fetch_x86(&f);
+        }
+        let chain_done = p.reg_ready[ArchReg::Eax.index()];
+        let st = vec![Uop::store(ArchReg::Esi, 0, ArchReg::Eax).ending_x86()];
+        let mut f = plain_fetch(0x2000, &st);
+        f.store_addr = Some(0x30_0000);
+        p.fetch_x86(&f);
+        // Load two bytes into the stored word: overlapping, not equal.
+        let ld = vec![Uop::load(ArchReg::Ebx, ArchReg::Esi, 0).ending_x86()];
+        let mut f = plain_fetch(0x2001, &ld);
+        f.load_addr = Some(0x30_0002);
+        p.fetch_x86(&f);
+        assert!(
+            p.reg_ready[ArchReg::Ebx.index()] > chain_done,
+            "overlapping load waits for the store's data ({} vs {})",
+            p.reg_ready[ArchReg::Ebx.index()],
+            chain_done
+        );
+        // A load in the next word (beyond the straddle range) does not.
+        let mut f = plain_fetch(0x2002, &ld);
+        f.load_addr = Some(0x30_0008);
+        p.fetch_x86(&f);
+        assert!(p.reg_ready[ArchReg::Ebx.index()] < chain_done + 100);
+    }
+
+    #[test]
+    fn port_model_pipeline_runs_and_counts_port_pressure() {
+        let mut c = cfg();
+        c.core_model = crate::ports::CoreModel::PortAccurate;
+        let mut p = Pipeline::new(c);
+        let flow = alu_flow();
+        for i in 0..32u32 {
+            p.fetch_x86(&plain_fetch(0x1000 + i, &flow));
+        }
+        p.finish();
+        assert_eq!(p.stats().retired_x86, 32);
+        assert_eq!(p.cycles(), p.bins().total());
+        let mut obs = replay_obs::Obs::collecting();
+        p.observe_ports(&mut obs);
+        let profile = obs.into_profile();
+        let issued: u64 = ["p0", "p1", "p23", "p5"]
+            .iter()
+            .map(|l| profile.counter(&format!("timing.port.{l}.issued")))
+            .sum();
+        assert_eq!(issued, 32, "every uop issued to exactly one port");
+    }
+
+    #[test]
+    fn generic_model_records_no_port_counters() {
+        let mut p = Pipeline::new(cfg());
+        let flow = alu_flow();
+        p.fetch_x86(&plain_fetch(0x1000, &flow));
+        let mut obs = replay_obs::Obs::collecting();
+        p.observe_ports(&mut obs);
+        assert!(
+            obs.into_profile().is_empty(),
+            "generic model emits no timing.port.* keys"
+        );
     }
 
     #[test]

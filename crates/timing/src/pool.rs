@@ -1,18 +1,23 @@
-//! Functional-unit pool.
+//! Functional-unit pool (the generic core model's execution resources).
 
 use replay_uop::OpcodeClass;
 
-/// Tracks per-unit busy times for the execution resources of Table 2:
-/// simple ALUs, complex ALUs, FPUs, and load/store units.
+/// Tracks per-unit busy times for the integer execution resources of
+/// Table 2: simple ALUs, complex ALUs, and load/store units.
 ///
 /// Assertion uops execute on simple ALUs; loads and stores occupy a
 /// load/store unit for one cycle (the cache latency is modeled separately
 /// as result latency, the unit itself is pipelined).
+///
+/// The paper's 3 FPUs are *not* instantiated: the integer-only uop ISA
+/// has no opcode class that routes to them, so an FPU bank would be dead
+/// configuration (`TimingConfig::fpus` documents the Table 2 count). The
+/// port-accurate model (`ports` module) likewise binds every opcode to
+/// real integer/memory ports and makes an unbound opcode a typed error.
 #[derive(Debug, Clone)]
 pub struct FuPool {
     simple: Vec<u64>,
     complex: Vec<u64>,
-    fpu: Vec<u64>,
     ldst: Vec<u64>,
 }
 
@@ -22,15 +27,14 @@ impl FuPool {
     /// # Panics
     ///
     /// Panics if any count is zero.
-    pub fn new(simple: usize, complex: usize, fpu: usize, ldst: usize) -> FuPool {
+    pub fn new(simple: usize, complex: usize, ldst: usize) -> FuPool {
         assert!(
-            simple > 0 && complex > 0 && fpu > 0 && ldst > 0,
+            simple > 0 && complex > 0 && ldst > 0,
             "unit counts must be positive"
         );
         FuPool {
             simple: vec![0; simple],
             complex: vec![0; complex],
-            fpu: vec![0; fpu],
             ldst: vec![0; ldst],
         }
     }
@@ -42,12 +46,6 @@ impl FuPool {
             // SimpleAlu, Branch, Assert, Other share the simple ALUs.
             _ => &mut self.simple,
         }
-    }
-
-    /// Number of floating-point units (present for Table 2 completeness;
-    /// the integer workloads never issue to them).
-    pub fn fpu_count(&self) -> usize {
-        self.fpu.len()
     }
 
     /// Reserves a unit of the class at or after `earliest`, occupying it
@@ -71,7 +69,7 @@ mod tests {
 
     #[test]
     fn contention_delays_issue() {
-        let mut p = FuPool::new(2, 1, 1, 1);
+        let mut p = FuPool::new(2, 1, 1);
         assert_eq!(p.issue(OpcodeClass::SimpleAlu, 10, 1), 10);
         assert_eq!(p.issue(OpcodeClass::SimpleAlu, 10, 1), 10, "second unit");
         assert_eq!(p.issue(OpcodeClass::SimpleAlu, 10, 1), 11, "both busy");
@@ -79,7 +77,7 @@ mod tests {
 
     #[test]
     fn classes_are_independent() {
-        let mut p = FuPool::new(1, 1, 1, 1);
+        let mut p = FuPool::new(1, 1, 1);
         assert_eq!(p.issue(OpcodeClass::SimpleAlu, 5, 10), 5);
         assert_eq!(p.issue(OpcodeClass::Load, 5, 1), 5, "LSU not blocked");
         assert_eq!(p.issue(OpcodeClass::ComplexAlu, 5, 1), 5);
@@ -87,14 +85,14 @@ mod tests {
 
     #[test]
     fn long_occupancy_blocks_complex_unit() {
-        let mut p = FuPool::new(1, 1, 1, 1);
+        let mut p = FuPool::new(1, 1, 1);
         assert_eq!(p.issue(OpcodeClass::ComplexAlu, 0, 12), 0);
         assert_eq!(p.issue(OpcodeClass::ComplexAlu, 0, 12), 12);
     }
 
     #[test]
     fn branch_and_assert_use_simple_alus() {
-        let mut p = FuPool::new(1, 1, 1, 1);
+        let mut p = FuPool::new(1, 1, 1);
         assert_eq!(p.issue(OpcodeClass::Branch, 0, 1), 0);
         assert_eq!(p.issue(OpcodeClass::Assert, 0, 1), 1);
         assert_eq!(p.issue(OpcodeClass::SimpleAlu, 0, 1), 2);
@@ -103,6 +101,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "unit counts")]
     fn zero_units_rejected() {
-        FuPool::new(0, 1, 1, 1);
+        FuPool::new(0, 1, 1);
     }
 }

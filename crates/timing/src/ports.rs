@@ -1,0 +1,539 @@
+//! Issue-port core model: named ports, per-opcode bindings, and measured
+//! latency/occupancy tables.
+//!
+//! The paper evaluates rePLay on a generic 2003-era functional-unit mix
+//! (Table 2: 6 simple ALUs, 2 complex, 3 FPUs, 4 load/store units, every
+//! ALU op single-cycle). Modern cores instead schedule uops onto a small
+//! number of *issue ports* with heterogeneous capabilities, and per-opcode
+//! latencies measured by uops.info (Abel & Reineke, "uops.info:
+//! Characterizing Latency, Throughput, and Port Usage of Instructions on
+//! Intel Microarchitectures") differ markedly from the uniform model.
+//! This module adds a second, selectable core model in that style so the
+//! paper's profit ranking can be re-evaluated on a port-constrained
+//! machine.
+//!
+//! The port layout follows the Nehalem shape used by Sniper's
+//! `DynamicMicroOpNehalem` (see SNIPPETS.md): three ALU-capable ports
+//! ([`Port::P0`], [`Port::P1`], [`Port::P5`]) with asymmetric extras
+//! (shift/divide on P0, multiply/LEA on P1, branches on P5) and a unified
+//! memory port bank [`Port::P23`] with two address-generation pipes.
+//! Latencies are seeded from uops.info Nehalem measurements, embedded as a
+//! zero-dependency static table ([`PortTable::uops_info`]); deviations are
+//! documented per opcode and in `DESIGN.md` ("Core models").
+//!
+//! Occupancy models reciprocal throughput: an occupancy of 1 means the
+//! port accepts a new uop of that kind every cycle; occupancy equal to
+//! latency means the operation is not pipelined and blocks its port for
+//! the full duration (the divider).
+//!
+//! Both core models sit behind the [`PortScheduler`] trait so the timing
+//! pipeline dispatches identically through either; the generic
+//! ([`GenericScheduler`]) path reproduces the class-banked `FuPool`
+//! computation bit-for-bit.
+
+use crate::config::TimingConfig;
+use crate::pool::FuPool;
+use replay_uop::Opcode;
+use std::fmt;
+
+/// Which execution-core model schedules uops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreModel {
+    /// The paper's Table 2 class-banked functional-unit pool with uniform
+    /// single-cycle ALU latency (`mul`/`div` excepted).
+    #[default]
+    Generic,
+    /// Named issue ports with per-opcode bindings and uops.info-seeded
+    /// latencies (see [`PortTable`]).
+    PortAccurate,
+}
+
+impl CoreModel {
+    /// Short CLI/report label: `generic` or `port`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoreModel::Generic => "generic",
+            CoreModel::PortAccurate => "port",
+        }
+    }
+
+    /// Parses a CLI label (case insensitive): `generic` or `port`.
+    pub fn from_label(s: &str) -> Option<CoreModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "generic" => Some(CoreModel::Generic),
+            "port" => Some(CoreModel::PortAccurate),
+            _ => None,
+        }
+    }
+}
+
+/// A named issue port of the port-accurate model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Port {
+    /// ALU, shifts, and the (unpipelined) divider.
+    P0,
+    /// ALU, multiply, and LEA address arithmetic.
+    P1,
+    /// The memory port bank: loads, stores, and fences, with two
+    /// address-generation pipes.
+    P23,
+    /// ALU and branch/assert resolution.
+    P5,
+}
+
+impl Port {
+    /// Every port, in canonical (tie-breaking) order.
+    pub const ALL: [Port; 4] = [Port::P0, Port::P1, Port::P23, Port::P5];
+
+    /// The port's lower-case label, as used in `timing.port.*` counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Port::P0 => "p0",
+            Port::P1 => "p1",
+            Port::P23 => "p23",
+            Port::P5 => "p5",
+        }
+    }
+
+    /// Number of identical pipes behind the port (P23 models a load AGU
+    /// and a store AGU as two interchangeable pipes).
+    pub fn pipes(self) -> usize {
+        match self {
+            Port::P23 => 2,
+            _ => 1,
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Port::P0 => 1 << 0,
+            Port::P1 => 1 << 1,
+            Port::P23 => 1 << 2,
+            Port::P5 => 1 << 3,
+        }
+    }
+}
+
+/// A set of ports a uop may issue to (uops.info's port-usage notation:
+/// `p015` means any of P0/P1/P5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortSet(u8);
+
+impl PortSet {
+    /// The empty set (binds nothing; rejected by validation).
+    pub const NONE: PortSet = PortSet(0);
+    /// Only P0.
+    pub const P0: PortSet = PortSet(1 << 0);
+    /// Only P1.
+    pub const P1: PortSet = PortSet(1 << 1);
+    /// Only the memory bank.
+    pub const P23: PortSet = PortSet(1 << 2);
+    /// Only P5.
+    pub const P5: PortSet = PortSet(1 << 3);
+    /// P0 or P1 (`p01`).
+    pub const P01: PortSet = PortSet(1 | 2);
+    /// P0 or P5 (`p05`).
+    pub const P05: PortSet = PortSet(1 | 8);
+    /// Any ALU port (`p015`).
+    pub const P015: PortSet = PortSet(1 | 2 | 8);
+
+    /// True if `port` is a member.
+    pub fn contains(self, port: Port) -> bool {
+        self.0 & port.bit() != 0
+    }
+
+    /// True if no port is a member.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of member ports.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+/// One opcode's scheduling contract in the port-accurate model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortBinding {
+    /// Ports the uop may issue to (at least one; validated).
+    pub ports: PortSet,
+    /// Result latency in cycles (memory ops take the cache hierarchy's
+    /// latency instead; this field then covers only address generation).
+    pub latency: u64,
+    /// Cycles the chosen port pipe stays busy (reciprocal throughput);
+    /// equal to `latency` for unpipelined ops such as the divider.
+    pub occupancy: u64,
+}
+
+/// Typed misconfiguration error for the port-accurate model: a bound
+/// opcode whose table entry could never issue would otherwise starve
+/// silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortConfigError {
+    /// An opcode's binding names no port at all.
+    UnboundOpcode(Opcode),
+    /// An opcode's occupancy is zero (its port would never cycle).
+    ZeroOccupancy(Opcode),
+    /// An opcode's latency is zero (its result would precede its issue).
+    ZeroLatency(Opcode),
+}
+
+impl fmt::Display for PortConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortConfigError::UnboundOpcode(op) => {
+                write!(f, "opcode {} binds no issue port", op.mnemonic())
+            }
+            PortConfigError::ZeroOccupancy(op) => {
+                write!(f, "opcode {} has zero port occupancy", op.mnemonic())
+            }
+            PortConfigError::ZeroLatency(op) => {
+                write!(f, "opcode {} has zero latency", op.mnemonic())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PortConfigError {}
+
+/// The per-opcode port/latency/occupancy table, indexed by [`Opcode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortTable {
+    bindings: [PortBinding; Opcode::ALL.len()],
+}
+
+impl PortTable {
+    /// The default table, seeded from uops.info Nehalem measurements
+    /// (matching the Sniper port layout this model follows):
+    ///
+    /// * single-cycle integer ALU ops issue to any of `p015`;
+    /// * LEA uses the address-arithmetic units on `p01`;
+    /// * shifts are `p05`;
+    /// * `IMUL r32` is 3 cycles, pipelined, on `p1`;
+    /// * `DIV/IDIV r32` is 21 cycles, unpipelined, on `p0`;
+    /// * loads/stores/fences use the two-pipe memory bank `p23`
+    ///   (cache-hierarchy latency modeled separately);
+    /// * branches resolve on `p5`; assert uops behave like (macro-fused)
+    ///   compare-and-branch checks and also bind `p5`;
+    /// * `Nop` nominally needs no execution port — it is bound to `p015`
+    ///   at 1 cycle so every opcode in the table is schedulable (documented
+    ///   deviation).
+    pub fn uops_info() -> PortTable {
+        let mut bindings = [PortBinding {
+            ports: PortSet::NONE,
+            latency: 1,
+            occupancy: 1,
+        }; Opcode::ALL.len()];
+        for op in Opcode::ALL {
+            let b = match op {
+                Opcode::Add
+                | Opcode::Sub
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Not
+                | Opcode::Neg
+                | Opcode::Mov
+                | Opcode::MovImm
+                | Opcode::Cmp
+                | Opcode::Test
+                | Opcode::Nop => (PortSet::P015, 1, 1),
+                Opcode::Lea => (PortSet::P01, 1, 1),
+                Opcode::Shl | Opcode::Shr | Opcode::Sar => (PortSet::P05, 1, 1),
+                Opcode::Mul => (PortSet::P1, 3, 1),
+                // The divider is not pipelined: it blocks P0 for the full
+                // latency.
+                Opcode::Div | Opcode::Rem => (PortSet::P0, 21, 21),
+                Opcode::Load | Opcode::Store | Opcode::Fence => (PortSet::P23, 1, 1),
+                Opcode::Jmp | Opcode::JmpInd | Opcode::Br => (PortSet::P5, 1, 1),
+                Opcode::Assert | Opcode::AssertCmp | Opcode::AssertTest => (PortSet::P5, 1, 1),
+            };
+            bindings[op as usize] = PortBinding {
+                ports: b.0,
+                latency: b.1,
+                occupancy: b.2,
+            };
+        }
+        PortTable { bindings }
+    }
+
+    /// The binding for an opcode.
+    pub fn binding(&self, op: Opcode) -> PortBinding {
+        self.bindings[op as usize]
+    }
+
+    /// Replaces an opcode's binding (for experiments and tests).
+    pub fn set_binding(&mut self, op: Opcode, binding: PortBinding) {
+        self.bindings[op as usize] = binding;
+    }
+
+    /// Checks every opcode binds at least one port with sane latency and
+    /// occupancy, returning the first violation as a typed error.
+    pub fn validate(&self) -> Result<(), PortConfigError> {
+        for op in Opcode::ALL {
+            let b = self.binding(op);
+            if b.ports.is_empty() {
+                return Err(PortConfigError::UnboundOpcode(op));
+            }
+            if b.occupancy == 0 {
+                return Err(PortConfigError::ZeroOccupancy(op));
+            }
+            if b.latency == 0 {
+                return Err(PortConfigError::ZeroLatency(op));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PortTable {
+    fn default() -> PortTable {
+        PortTable::uops_info()
+    }
+}
+
+/// Scheduling interface the timing pipeline dispatches uop execution
+/// through: both core models implement it, so selecting a model never
+/// changes the pipeline's control flow.
+pub trait PortScheduler: fmt::Debug {
+    /// Reserves an execution resource for `op` at or after `earliest`;
+    /// returns the actual issue cycle.
+    fn issue(&mut self, op: Opcode, earliest: u64) -> u64;
+
+    /// Result latency of a non-memory op (memory ops take the cache
+    /// hierarchy's latency, modeled by the pipeline).
+    fn op_latency(&self, op: Opcode) -> u64;
+
+    /// Records per-port pressure counters (`timing.port.*`). The generic
+    /// model has no ports and records nothing, keeping its reports
+    /// byte-identical with or without the port model compiled in.
+    fn observe_into(&self, obs: &mut replay_obs::Obs);
+}
+
+/// The paper's class-banked scheduler: wraps [`FuPool`] and reproduces
+/// the uniform-latency computation exactly.
+#[derive(Debug)]
+pub struct GenericScheduler {
+    pool: FuPool,
+    mul_latency: u64,
+    div_latency: u64,
+}
+
+impl GenericScheduler {
+    /// Builds the Table 2 unit pool from a configuration.
+    pub fn new(cfg: &TimingConfig) -> GenericScheduler {
+        GenericScheduler {
+            pool: FuPool::new(cfg.simple_alus, cfg.complex_alus, cfg.ldst_units),
+            mul_latency: cfg.mul_latency,
+            div_latency: cfg.div_latency,
+        }
+    }
+}
+
+impl PortScheduler for GenericScheduler {
+    fn issue(&mut self, op: Opcode, earliest: u64) -> u64 {
+        let occupancy = match op {
+            // The divider is not pipelined.
+            Opcode::Div | Opcode::Rem => self.div_latency,
+            _ => 1,
+        };
+        self.pool.issue(op.class(), earliest, occupancy)
+    }
+
+    fn op_latency(&self, op: Opcode) -> u64 {
+        match op {
+            Opcode::Mul => self.mul_latency,
+            Opcode::Div | Opcode::Rem => self.div_latency,
+            _ => 1,
+        }
+    }
+
+    fn observe_into(&self, _obs: &mut replay_obs::Obs) {}
+}
+
+/// The port-accurate scheduler: per-pipe busy times over the named ports,
+/// choosing the least-busy bound pipe (first in canonical order on ties,
+/// mirroring `FuPool`'s deterministic `min_by_key`).
+#[derive(Debug)]
+pub struct PortAccurateScheduler {
+    table: PortTable,
+    /// Busy-until time per pipe, indexed `[port][pipe]`.
+    busy: [Vec<u64>; Port::ALL.len()],
+    issued: [u64; Port::ALL.len()],
+    contention: [u64; Port::ALL.len()],
+}
+
+impl PortAccurateScheduler {
+    /// Builds a scheduler over a validated table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the table's [`PortConfigError`] if any opcode could never
+    /// issue (the typed alternative to silent starvation).
+    pub fn new(table: PortTable) -> Result<PortAccurateScheduler, PortConfigError> {
+        table.validate()?;
+        Ok(PortAccurateScheduler {
+            table,
+            busy: [
+                vec![0; Port::P0.pipes()],
+                vec![0; Port::P1.pipes()],
+                vec![0; Port::P23.pipes()],
+                vec![0; Port::P5.pipes()],
+            ],
+            issued: [0; Port::ALL.len()],
+            contention: [0; Port::ALL.len()],
+        })
+    }
+
+    /// Uops issued per port, in [`Port::ALL`] order.
+    pub fn issued(&self) -> [u64; Port::ALL.len()] {
+        self.issued
+    }
+}
+
+impl PortScheduler for PortAccurateScheduler {
+    fn issue(&mut self, op: Opcode, earliest: u64) -> u64 {
+        let b = self.table.binding(op);
+        let mut best: Option<(usize, usize, u64)> = None;
+        for (pi, port) in Port::ALL.into_iter().enumerate() {
+            if !b.ports.contains(port) {
+                continue;
+            }
+            for (qi, &busy) in self.busy[pi].iter().enumerate() {
+                if best.is_none_or(|(_, _, t)| busy < t) {
+                    best = Some((pi, qi, busy));
+                }
+            }
+        }
+        let (pi, qi, busy) = best.expect("validated binding names at least one port");
+        let start = earliest.max(busy);
+        self.busy[pi][qi] = start + b.occupancy.max(1);
+        self.issued[pi] += 1;
+        self.contention[pi] += start - earliest;
+        start
+    }
+
+    fn op_latency(&self, op: Opcode) -> u64 {
+        self.table.binding(op).latency
+    }
+
+    fn observe_into(&self, obs: &mut replay_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        for (pi, port) in Port::ALL.into_iter().enumerate() {
+            let label = port.label();
+            obs.counter(&format!("timing.port.{label}.issued"), self.issued[pi]);
+            obs.counter(
+                &format!("timing.port.{label}.contention_cycles"),
+                self.contention[pi],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_validates_and_binds_every_opcode() {
+        let t = PortTable::uops_info();
+        assert_eq!(t.validate(), Ok(()));
+        for op in Opcode::ALL {
+            let b = t.binding(op);
+            assert!(!b.ports.is_empty(), "{op:?} bound");
+            assert!(b.occupancy >= 1 && b.latency >= 1, "{op:?} sane");
+        }
+    }
+
+    #[test]
+    fn zero_port_binding_is_a_typed_error() {
+        let mut t = PortTable::uops_info();
+        t.set_binding(
+            Opcode::Mul,
+            PortBinding {
+                ports: PortSet::NONE,
+                latency: 3,
+                occupancy: 1,
+            },
+        );
+        assert_eq!(
+            t.validate(),
+            Err(PortConfigError::UnboundOpcode(Opcode::Mul))
+        );
+        assert!(PortAccurateScheduler::new(t).is_err());
+    }
+
+    #[test]
+    fn divider_blocks_its_port_for_full_latency() {
+        let t = PortTable::uops_info();
+        let occ = t.binding(Opcode::Div).occupancy;
+        assert_eq!(occ, t.binding(Opcode::Div).latency, "unpipelined");
+        let mut s = PortAccurateScheduler::new(t).unwrap();
+        assert_eq!(s.issue(Opcode::Div, 0), 0);
+        assert_eq!(s.issue(Opcode::Div, 0), occ, "second div waits");
+        // P0 is busy, but an ALU op can still take P1 or P5.
+        assert_eq!(s.issue(Opcode::Add, 0), 0);
+    }
+
+    #[test]
+    fn memory_bank_has_two_pipes() {
+        let mut s = PortAccurateScheduler::new(PortTable::uops_info()).unwrap();
+        assert_eq!(s.issue(Opcode::Load, 0), 0);
+        assert_eq!(s.issue(Opcode::Store, 0), 0, "second pipe");
+        assert_eq!(s.issue(Opcode::Load, 0), 1, "both pipes busy");
+    }
+
+    #[test]
+    fn alu_ops_spread_across_three_ports() {
+        let mut s = PortAccurateScheduler::new(PortTable::uops_info()).unwrap();
+        assert_eq!(s.issue(Opcode::Add, 0), 0);
+        assert_eq!(s.issue(Opcode::Add, 0), 0);
+        assert_eq!(s.issue(Opcode::Add, 0), 0);
+        assert_eq!(s.issue(Opcode::Add, 0), 1, "p015 all busy");
+        let issued = s.issued();
+        assert_eq!(issued.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn branches_contend_on_p5() {
+        let mut s = PortAccurateScheduler::new(PortTable::uops_info()).unwrap();
+        assert_eq!(s.issue(Opcode::Br, 0), 0);
+        assert_eq!(s.issue(Opcode::Assert, 0), 1, "asserts share P5");
+    }
+
+    #[test]
+    fn generic_scheduler_matches_fu_pool_computation() {
+        let cfg = TimingConfig::paper_default();
+        let mut s = GenericScheduler::new(&cfg);
+        let mut pool = FuPool::new(cfg.simple_alus, cfg.complex_alus, cfg.ldst_units);
+        for (op, earliest) in [
+            (Opcode::Add, 0),
+            (Opcode::Div, 2),
+            (Opcode::Div, 2),
+            (Opcode::Load, 5),
+            (Opcode::Mul, 1),
+            (Opcode::Br, 9),
+        ] {
+            let occ = match op {
+                Opcode::Div | Opcode::Rem => cfg.div_latency,
+                _ => 1,
+            };
+            assert_eq!(s.issue(op, earliest), pool.issue(op.class(), earliest, occ));
+        }
+        assert_eq!(s.op_latency(Opcode::Mul), cfg.mul_latency);
+        assert_eq!(s.op_latency(Opcode::Div), cfg.div_latency);
+        assert_eq!(s.op_latency(Opcode::Add), 1);
+    }
+
+    #[test]
+    fn core_model_labels_round_trip() {
+        for m in [CoreModel::Generic, CoreModel::PortAccurate] {
+            assert_eq!(CoreModel::from_label(m.label()), Some(m));
+        }
+        assert_eq!(CoreModel::from_label("PORT"), Some(CoreModel::PortAccurate));
+        assert_eq!(CoreModel::from_label("fast"), None);
+    }
+}

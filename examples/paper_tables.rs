@@ -6,18 +6,23 @@
 //! what an offline re-pin uses.
 //!
 //! ```text
-//! cargo run --release -p replay-examples --bin paper_tables [SCALE]
+//! cargo run --release -p replay-examples --bin paper_tables [SCALE] [--core-model MODEL]
+//! cargo run --release -p replay-examples --bin paper_tables models [SCALE]
+//! cargo run --release -p replay-examples --bin paper_tables sweeps
 //! ```
 //!
 //! `SCALE` defaults to 30 000 x86 instructions per segment, the scale at
-//! which `EXPERIMENTS.md` is pinned.
+//! which `EXPERIMENTS.md` is pinned. `--core-model port` reruns every
+//! table on the port-accurate core model; the `models` mode prints the
+//! dual-model seven-pass profit ranking pinned in EXPERIMENTS.md.
 
 use replay_core::DatapathConfig;
 use replay_sim::experiment::{
-    ablation, cycle_breakdown, ipc_comparison, removal_averages, removal_table, scope_comparison,
-    ABLATION_APPS, ABLATION_LABELS,
+    ablation_model, cycle_breakdown_model, ipc_comparison_model, pass_profit_jobs,
+    removal_averages, removal_table_model, scope_comparison_model, ABLATION_APPS, ABLATION_LABELS,
+    PROFIT_PASSES,
 };
-use replay_sim::{simulate, ConfigKind, SimConfig};
+use replay_sim::{parallel, simulate, ConfigKind, CoreModel, SimConfig};
 use replay_timing::CycleBin;
 use replay_trace::{workloads, Suite};
 
@@ -57,19 +62,66 @@ fn sweeps(scale: usize) {
     println!();
 }
 
+/// The dual-model seven-pass profit ranking (EXPERIMENTS.md "Pass profit
+/// by core model"): every pass's contribution in percentage points of RP
+/// IPC, under the generic and the port-accurate core, side by side.
+fn models(scale: usize) {
+    let jobs = parallel::job_count();
+    println!(
+        "Pass profit by core model (scale {scale} x86/segment, {} apps)",
+        ABLATION_APPS.len()
+    );
+    println!("{:6} {:>10} {:>10}", "pass", "generic", "port");
+    let generic = pass_profit_jobs(&ABLATION_APPS, scale, jobs, CoreModel::Generic);
+    let port = pass_profit_jobs(&ABLATION_APPS, scale, jobs, CoreModel::PortAccurate);
+    for (g, p) in generic.iter().zip(&port) {
+        assert_eq!(g.pass, p.pass);
+        println!(
+            "{:6} {:>+10.2} {:>+10.2}",
+            g.pass, g.profit_pct, p.profit_pct
+        );
+    }
+    for (label, rows) in [("generic", &generic), ("port", &port)] {
+        let mut ranked: Vec<&str> = PROFIT_PASSES.to_vec();
+        ranked.sort_by(|a, b| {
+            let pct = |pass: &str| rows.iter().find(|r| r.pass == pass).unwrap().profit_pct;
+            pct(b).total_cmp(&pct(a))
+        });
+        println!("ranking ({label}): {}", ranked.join(" > "));
+    }
+}
+
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("sweeps") {
         sweeps(30_000);
         return;
     }
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30_000);
+    if std::env::args().nth(1).as_deref() == Some("models") {
+        let scale = std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(30_000);
+        models(scale);
+        return;
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(30_000);
+    let model = match args.iter().position(|a| a == "--core-model") {
+        None => CoreModel::Generic,
+        Some(i) => {
+            let label = args.get(i + 1).map(String::as_str).unwrap_or("");
+            CoreModel::from_label(label)
+                .unwrap_or_else(|| panic!("unknown core model {label:?} (generic, port)"))
+        }
+    };
+    let jobs = parallel::job_count();
 
-    println!("Table 3 — micro-operations and loads removed (scale {scale} x86/segment)");
+    println!(
+        "Table 3 — micro-operations and loads removed (scale {scale} x86/segment, {} core)",
+        model.label()
+    );
     println!("{:10} {:>7} {:>7} {:>7}", "app", "uops%", "loads%", "IPC+%");
-    let rows = removal_table(scale);
+    let rows = removal_table_model(scale, jobs, model);
     for r in &rows {
         println!(
             "{:10} {:7.1} {:7.1} {:+7.1}",
@@ -97,7 +149,7 @@ fn main() {
     let mut spec_cov = Vec::new();
     let mut desk_cov = Vec::new();
     let mut assert_fracs = Vec::new();
-    for r in ipc_comparison(scale) {
+    for r in ipc_comparison_model(scale, jobs, model) {
         println!(
             "{:10} {:5.2} {:5.2} {:5.2} {:5.2} {:+7.1} {:6.1} {:8.2}",
             r.name,
@@ -127,7 +179,7 @@ fn main() {
     println!();
     println!("Figures 7/8 — Frame-cycle reduction, RP → RPO (scale {scale})");
     for (suite, label) in [(Suite::SpecInt, "SPEC"), (Suite::Desktop, "desktop")] {
-        let rows = cycle_breakdown(suite, scale);
+        let rows = cycle_breakdown_model(suite, scale, jobs, model);
         let rp: u64 = rows.iter().map(|r| r.rp.get(CycleBin::Frame)).sum();
         let rpo: u64 = rows.iter().map(|r| r.rpo.get(CycleBin::Frame)).sum();
         println!(
@@ -139,7 +191,7 @@ fn main() {
     println!();
     println!("Figure 9 — block-scope vs frame-scope optimization (scale {scale})");
     println!("{:10} {:>8} {:>8}", "app", "block%", "frame%");
-    let rows = scope_comparison(scale);
+    let rows = scope_comparison_model(scale, jobs, model);
     for r in &rows {
         println!("{:10} {:+8.1} {:+8.1}", r.name, r.block_pct, r.frame_pct);
     }
@@ -157,7 +209,7 @@ fn main() {
         print!(" {:>8}", format!("no {l}"));
     }
     println!();
-    for r in ablation(&ABLATION_APPS, scale) {
+    for r in ablation_model(&ABLATION_APPS, scale, jobs, model) {
         print!("{:10}", r.name);
         for v in r.relative {
             print!(" {v:8.2}");

@@ -92,19 +92,19 @@ fn eager_specialization_is_identical_across_jobs() {
     );
 }
 
-/// The full replay-report/v2 artifact — which now carries the hot-path
+/// The full replay-report/v3 artifact — which carries the hot-path
 /// counters — stays byte-identical across worker counts and across
 /// consecutive (cold, then warm) runs, store section aside.
 #[test]
-fn report_v2_is_byte_identical_across_jobs_and_temperature() {
+fn report_is_byte_identical_across_jobs_and_temperature() {
     let trace = Arc::new(workloads::by_name("gzip").unwrap().segment_trace(0, SCALE));
     let (_, cold) = run_report(&trace, 1, false);
     let (_, warm) = run_report(&trace, 1, false);
     let (_, par) = run_report(&trace, 4, false);
-    assert!(cold.contains("\"schema\": \"replay-report/v2\""));
+    assert!(cold.contains("\"schema\": \"replay-report/v3\""));
     assert!(
         cold.contains("sim.exec.specialized_hits"),
-        "v2 must carry the hot-path counters"
+        "the report must carry the hot-path counters"
     );
     let cold = strip_store_section(&cold);
     assert_eq!(cold, strip_store_section(&warm), "cold vs warm");
