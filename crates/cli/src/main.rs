@@ -398,6 +398,8 @@ const SPEC_SERVE: CmdSpec = CmdSpec {
     flags: &[
         flag(&["addr"], "ADDR"),
         JOBS_FLAG,
+        flag(&["event-loop"], "on|off"),
+        flag(&["max-conns"], "N"),
         flag(&["conn-queue"], "N"),
         flag(&["work-queue"], "N"),
         flag(&["batch-max"], "N"),
@@ -878,12 +880,43 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .filter(|n| *n >= 1)
             .ok_or_else(|| format!("bad --batch-max value {n:?}"))?;
     }
+    if let Some(v) = opts.get("event-loop") {
+        cfg.event_loop = match v {
+            "on" => {
+                if !replay_serve::poll::supported() {
+                    return Err("--event-loop on: readiness polling is not \
+                                supported on this target"
+                        .to_string());
+                }
+                true
+            }
+            "off" => false,
+            other => return Err(format!("bad --event-loop value {other:?} (want on|off)")),
+        };
+    }
+    if let Some(n) = opts.get("max-conns") {
+        cfg.max_conns = n
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("bad --max-conns value {n:?}"))?;
+    }
     replay_serve::signal::install();
+    if cfg.event_loop {
+        // Every held connection is a file descriptor; give the ceiling
+        // headroom before the first accept rather than failing under load.
+        let _ = replay_serve::poll::raise_nofile_limit(cfg.max_conns as u64 + 512);
+    }
     let jobs = cfg.jobs;
+    let front = if cfg.event_loop {
+        "event-loop front"
+    } else {
+        "thread front"
+    };
     let server =
         replay_serve::Server::bind(addr, cfg).map_err(|e| format!("binding {addr:?}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
-    println!("replay-serve listening on {bound} ({jobs} workers; SIGTERM/ctrl-c drains)");
+    println!("replay-serve listening on {bound} ({jobs} workers, {front}; SIGTERM/ctrl-c drains)");
     let stats = server.run();
     println!("drained; serve metrics:");
     print!("{}", stats.profile.render_table(false));

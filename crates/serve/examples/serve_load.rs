@@ -1,0 +1,202 @@
+//! Fixed-seed load comparison of the two serve fronts.
+//!
+//! Runs the identical client load — a deterministic mix of workload
+//! requests from concurrent seeded clients — first against the
+//! event-loop front, then against the thread-per-connection front, and:
+//!
+//! - **fails** (exit 1) unless the two fronts produced byte-identical
+//!   response-body sets,
+//! - **fails** on any `serve.responses.write_failed`,
+//! - emits a `replay-serve-load/v1` JSON artifact with per-front
+//!   throughput and latency percentiles.
+//!
+//! Usage: `cargo run --release -p replay-serve --example serve_load -- [--out FILE]`
+
+use replay_serve::{Client, ClientConfig, Request, Server, ServerConfig, Source, Status};
+use replay_sim::report::strip_store_section;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+const SCALE: u64 = 4_000;
+const CLIENTS: usize = 6;
+const REQS_PER_CLIENT: usize = 8;
+const WORKLOADS: [&str; 3] = ["gzip", "twolf", "vortex"];
+
+struct FrontResult {
+    label: &'static str,
+    bodies: Vec<String>,
+    latencies_ms: Vec<u64>,
+    wall: Duration,
+    served: u64,
+    shed: u64,
+    write_failed: u64,
+}
+
+fn percentile(sorted_ms: &[u64], p: f64) -> u64 {
+    if sorted_ms.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn run_front(event_loop: bool) -> FrontResult {
+    let label = if event_loop { "event" } else { "threads" };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            event_loop,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let stop = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    let start = Instant::now();
+    let mut per_client: Vec<(Vec<String>, Vec<u64>)> = std::thread::scope(|scope| {
+        let addr = &addr;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::new(ClientConfig {
+                        addr: addr.to_string(),
+                        seed: 1000 + c as u64,
+                        retries: 20,
+                        base_backoff: Duration::from_millis(5),
+                        max_backoff: Duration::from_millis(200),
+                        ..ClientConfig::default()
+                    });
+                    let mut bodies = Vec::new();
+                    let mut lats = Vec::new();
+                    for r in 0..REQS_PER_CLIENT {
+                        let req = Request {
+                            source: Source::Workload(
+                                WORKLOADS[(c + r) % WORKLOADS.len()].to_string(),
+                            ),
+                            scale: SCALE,
+                            timings: false,
+                            deadline_ms: 0,
+                        };
+                        let t = Instant::now();
+                        let resp = client.submit(&req).expect("submit converges");
+                        lats.push(t.elapsed().as_millis() as u64);
+                        assert_eq!(resp.status, Status::Ok, "{}", resp.message);
+                        bodies.push(strip_store_section(
+                            &String::from_utf8(resp.body).expect("UTF-8 body"),
+                        ));
+                    }
+                    (bodies, lats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+
+    stop.store(true, Ordering::SeqCst);
+    let stats = handle.join().expect("server thread");
+
+    let mut bodies = Vec::new();
+    let mut latencies_ms = Vec::new();
+    for (b, l) in per_client.drain(..) {
+        bodies.extend(b);
+        latencies_ms.extend(l);
+    }
+    bodies.sort();
+    latencies_ms.sort_unstable();
+    FrontResult {
+        label,
+        bodies,
+        latencies_ms,
+        wall,
+        served: stats.served(),
+        shed: stats.shed(),
+        write_failed: stats.profile.counter("serve.responses.write_failed"),
+    }
+}
+
+fn front_json(r: &FrontResult) -> String {
+    let total = r.latencies_ms.len() as f64;
+    let throughput = total / r.wall.as_secs_f64();
+    format!(
+        "    \"{}\": {{\n      \"requests\": {},\n      \"wall_ms\": {},\n      \
+         \"throughput_rps\": {:.2},\n      \"p50_ms\": {},\n      \"p99_ms\": {},\n      \
+         \"served\": {},\n      \"shed\": {},\n      \"write_failed\": {}\n    }}",
+        r.label,
+        r.latencies_ms.len(),
+        r.wall.as_millis(),
+        throughput,
+        percentile(&r.latencies_ms, 0.50),
+        percentile(&r.latencies_ms, 0.99),
+        r.served,
+        r.shed,
+        r.write_failed,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = match args.get(1).map(String::as_str) {
+        Some("--out") => Some(args.get(2).expect("--out needs a path").clone()),
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: serve_load [--out FILE]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+
+    let event = run_front(true);
+    let threads = run_front(false);
+
+    let identical = event.bodies == threads.bodies;
+    let json = format!(
+        "{{\n  \"schema\": \"replay-serve-load/v1\",\n  \"clients\": {CLIENTS},\n  \
+         \"requests_per_client\": {REQS_PER_CLIENT},\n  \"scale\": {SCALE},\n  \
+         \"identical_bodies\": {identical},\n  \"fronts\": {{\n{},\n{}\n  }}\n}}\n",
+        front_json(&event),
+        front_json(&threads),
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write artifact");
+            println!("wrote {path}");
+            print!("{json}");
+        }
+        None => print!("{json}"),
+    }
+
+    let mut failed = false;
+    if !identical {
+        eprintln!("FAIL: the two fronts served different response-body sets");
+        failed = true;
+    }
+    for r in [&event, &threads] {
+        if r.write_failed > 0 {
+            eprintln!(
+                "FAIL: {} front recorded {} serve.responses.write_failed",
+                r.label, r.write_failed
+            );
+            failed = true;
+        }
+        if r.served != (CLIENTS * REQS_PER_CLIENT) as u64 {
+            eprintln!(
+                "FAIL: {} front served {} of {} requests",
+                r.label,
+                r.served,
+                CLIENTS * REQS_PER_CLIENT
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "both fronts served {} identical responses (event p99 {} ms, threads p99 {} ms)",
+        event.bodies.len(),
+        percentile(&event.latencies_ms, 0.99),
+        percentile(&threads.latencies_ms, 0.99),
+    );
+}

@@ -15,9 +15,18 @@
 //!
 //! The robustness story, end to end:
 //!
-//! - **Bounded queues, typed shedding** — the accept and work queues are
+//! - **Event-driven serve core** — by default one thread holds every
+//!   connection as a small state machine ([`conn`]) over a readiness
+//!   poller ([`poll`]: a zero-dep raw-syscall `epoll` shim), so tens of
+//!   thousands of idle or byte-dribbling clients cost file descriptors,
+//!   not blocked OS threads. The original thread-per-connection path is
+//!   kept behind [`ServerConfig::event_loop`]` = false` for
+//!   differential testing; responses are byte-identical either way.
+//! - **Bounded queues, typed shedding** — the intake and work queues are
 //!   bounded; a full queue answers [`proto::Status::Overloaded`] with a
-//!   retry hint instead of hanging the connection ([`queue`]).
+//!   retry hint, and a *draining* server answers
+//!   [`proto::Status::ShuttingDown`], instead of hanging the connection
+//!   ([`queue`]).
 //! - **Batching with deduplication** — the dispatcher collects requests
 //!   into batches, deduplicates identical ones (one simulation, many
 //!   responses), and submits each batch as a single worker-pool run
@@ -45,6 +54,8 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
+pub mod poll;
 pub mod proto;
 pub mod queue;
 pub mod server;

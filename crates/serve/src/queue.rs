@@ -6,10 +6,17 @@
 //! popping until it is empty, which is exactly the graceful-shutdown
 //! contract (in-flight work completes; only new work is refused).
 //!
+//! Consumers blocked in [`Bounded::pop`] are woken by a condvar. A
+//! consumer that *cannot* block on a condvar — the event loop, which
+//! sleeps in `epoll_wait` — instead installs a [`Bounded::set_waker`]
+//! hook (in practice [`crate::poll::Doorbell::ring`]) that fires after
+//! every push and on close, and drains the queue with the non-blocking
+//! [`Bounded::try_pop`] when the doorbell wakes it.
+//!
 //! [`Overloaded`]: crate::proto::Status::Overloaded
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Why a push was refused.
@@ -43,6 +50,7 @@ pub struct Bounded<T> {
     cap: usize,
     state: Mutex<State<T>>,
     available: Condvar,
+    waker: OnceLock<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl<T> Bounded<T> {
@@ -55,6 +63,22 @@ impl<T> Bounded<T> {
                 closed: false,
             }),
             available: Condvar::new(),
+            waker: OnceLock::new(),
+        }
+    }
+
+    /// Installs a wakeup hook fired after every successful push and on
+    /// close — how a poll-loop consumer (which sleeps in `epoll_wait`,
+    /// not on this queue's condvar) learns there is something to
+    /// [`Bounded::try_pop`]. At most one waker per queue; later calls are
+    /// ignored.
+    pub fn set_waker(&self, waker: Box<dyn Fn() + Send + Sync>) {
+        let _ = self.waker.set(waker);
+    }
+
+    fn wake(&self) {
+        if let Some(w) = self.waker.get() {
+            w();
         }
     }
 
@@ -70,6 +94,7 @@ impl<T> Bounded<T> {
         s.items.push_back(item);
         drop(s);
         self.available.notify_one();
+        self.wake();
         Ok(())
     }
 
@@ -87,6 +112,18 @@ impl<T> Bounded<T> {
     pub fn close(&self) {
         self.state.lock().expect("queue poisoned").closed = true;
         self.available.notify_all();
+        self.wake();
+    }
+
+    /// Non-blocking pop: an item if one is queued, [`Pop::Empty`] if the
+    /// queue is open but empty, [`Pop::Closed`] once closed and drained.
+    pub fn try_pop(&self) -> Pop<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        match s.items.pop_front() {
+            Some(item) => Pop::Item(item),
+            None if s.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
     }
 
     /// Blocking pop: waits for an item; returns [`Pop::Closed`] once the
@@ -162,6 +199,26 @@ mod tests {
             q.pop_timeout(Duration::from_millis(5)),
             Pop::Empty
         ));
+    }
+
+    #[test]
+    fn waker_fires_on_push_and_close_and_try_pop_drains() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(4));
+        let rings = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&rings);
+        q.set_waker(Box::new(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(matches!(q.try_pop(), Pop::Empty));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(rings.load(Ordering::SeqCst), 2, "one ring per push");
+        assert!(matches!(q.try_pop(), Pop::Item(1)));
+        q.close();
+        assert_eq!(rings.load(Ordering::SeqCst), 3, "close rings too");
+        assert!(matches!(q.try_pop(), Pop::Item(2)));
+        assert!(matches!(q.try_pop(), Pop::Closed));
     }
 
     #[test]

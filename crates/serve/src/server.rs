@@ -1,28 +1,48 @@
-//! The serving loop: bounded accept → parse → batch → simulate → respond.
+//! The serving core: two interchangeable front halves feeding one
+//! dispatcher.
 //!
 //! ```text
-//!              conn queue (bounded)        work queue (bounded)
-//! accept ──►  [TcpStream, ...]  ──parse──► [Job, ...] ──batch──► run_specs
-//!    │shed: Overloaded            │shed: Overloaded │               │
-//!    ▼                            ▼                 ▼               ▼
-//!  respond                     respond       DeadlineExceeded    respond Ok
+//!  event mode (default):                 thread mode (--event-loop off):
+//!
+//!   epoll ◄─── doorbell ◄──┐               conn queue (bounded)
+//!     │ readiness          │             accept ─► [TcpStream,..] ─► readers
+//!     ▼                    │               │shed: typed response      │
+//!   conn state machines    │               ▼                          ▼
+//!     │ complete frames    │             respond            work queue (bounded)
+//!     ▼                    │                                          │
+//!   work queue (bounded) ──┴─────────────────────────────◄────────────┘
+//!     │
+//!     ▼
+//!   dispatcher: batch → dedupe → run_specs → respond
 //! ```
 //!
-//! Every stage sheds instead of blocking: a full queue turns into a typed
-//! [`Status::Overloaded`] response with a retry hint, never a hung
-//! connection. The dispatcher collects jobs into batches (deduplicating
-//! identical requests batch-locally), runs each batch as one
-//! [`run_specs`] call on the shared worker pool — so four configurations
-//! × many requests saturate the pool exactly like a local `replay
-//! report` — and renders responses through the same
-//! [`replay_sim::report`] code path the CLI uses, which is what makes a
-//! served body byte-identical to a local run.
+//! The **event-driven front** (one thread, [`crate::poll`] +
+//! [`crate::conn`]) holds every connection as a small state machine:
+//! tens of thousands of idle or byte-dribbling clients cost file
+//! descriptors, not blocked OS threads, and a slow peer can only ever
+//! starve itself. The **thread front** keeps the original blocking
+//! accept/read/write path — retained behind
+//! [`ServerConfig::event_loop`]` = false` for differential testing and
+//! for targets without the epoll shim.
+//!
+//! Both fronts shed instead of blocking: a full queue turns into a typed
+//! [`Status::Overloaded`] response with a retry hint, a *closed* queue
+//! (the server is draining) into [`Status::ShuttingDown`] — never a hung
+//! connection. The shared dispatcher collects jobs into batches
+//! (deduplicating identical requests batch-locally), runs each batch as
+//! one [`run_specs`] call on the shared worker pool, and renders
+//! responses through the same [`replay_sim::report`] code path the CLI
+//! uses — which is what makes a served body byte-identical to a local
+//! `replay report --json` regardless of which front carried it.
 //!
 //! Shutdown (programmatic flag or SIGTERM via [`crate::signal`]) stops
-//! the accept loop immediately, then *drains*: connections already
-//! accepted are parsed, queued jobs are simulated, responses are written,
-//! and only then does [`Server::run`] return.
+//! the accept path immediately, then *drains*: requests already parsed
+//! are simulated and answered; event-mode connections that never sent a
+//! complete request are closed (they may never speak), and only then
+//! does [`Server::run`] return.
 
+use crate::conn::{Conn, ConnState, ReadStep, WriteStep};
+use crate::poll;
 use crate::proto::{read_frame, write_frame, Request, Response, Source, Status};
 use crate::queue::{Bounded, Pop, PushError};
 use crate::signal;
@@ -31,7 +51,6 @@ use replay_sim::experiment::run_specs;
 use replay_sim::report::{render_report, specs_for_trace};
 use replay_sim::TraceStore;
 use replay_trace::{read_trace, workloads, Trace};
-use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -45,7 +64,9 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Simulation worker threads per batch (the CLI's `--jobs`).
     pub jobs: usize,
-    /// Accepted connections awaiting parse before shedding starts.
+    /// Thread mode: accepted connections awaiting parse before shedding
+    /// starts. (The event loop parses incrementally and uses
+    /// [`ServerConfig::max_conns`] instead.)
     pub conn_queue: usize,
     /// Parsed requests awaiting dispatch before shedding starts.
     pub work_queue: usize,
@@ -54,18 +75,33 @@ pub struct ServerConfig {
     /// How long the dispatcher lingers for stragglers after the first
     /// job of a batch arrives.
     pub batch_linger: Duration,
-    /// Request-parsing threads.
+    /// Thread mode: request-parsing threads. Unused by the event loop,
+    /// whose single thread parses every connection incrementally.
     pub readers: usize,
-    /// Socket read/write timeout (a stalled peer cannot wedge a stage).
+    /// Thread mode: socket read/write timeout. Event mode: how long a
+    /// connection may sit *mid-frame* (or mid-response) without moving a
+    /// byte before being closed — a connection that has sent nothing at
+    /// all is idle, not stalled, and is never timed out.
     pub io_timeout: Duration,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Duration,
-    /// Retry hint sent with shed responses.
+    /// Retry hint sent with overload-shed responses.
     pub retry_after: Duration,
     /// Test hook: sleep this long before executing each batch, making
     /// overload and deadline windows deterministic under test. Zero in
     /// production.
     pub batch_hold: Duration,
+    /// Serve with the readiness-polling event loop (default wherever
+    /// [`poll::supported`]); `false` selects the thread-per-connection
+    /// path. Responses are byte-identical either way.
+    pub event_loop: bool,
+    /// Event mode: concurrent-connection ceiling; the connection that
+    /// would exceed it is answered [`Status::Overloaded`] immediately.
+    pub max_conns: usize,
+    /// Decoded inline traces kept warm, keyed by content digest, evicted
+    /// least-recently-used. Bounded so sustained unique-trace traffic
+    /// cannot grow server memory without limit.
+    pub inline_cache_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,12 +117,16 @@ impl Default for ServerConfig {
             default_deadline: Duration::from_secs(30),
             retry_after: Duration::from_millis(50),
             batch_hold: Duration::ZERO,
+            event_loop: poll::supported(),
+            max_conns: 20_000,
+            inline_cache_cap: 64,
         }
     }
 }
 
 /// What [`Server::run`] returns after draining: the serve-side metrics
-/// profile (queue depths, batch sizes, shed/latency accounting).
+/// profile (queue depths, batch sizes, shed/latency accounting, and in
+/// event mode the per-state connection counters).
 #[derive(Debug)]
 pub struct ServeStats {
     /// Merged metrics from every serving thread, deterministic order.
@@ -99,17 +139,94 @@ impl ServeStats {
         self.profile.counter("serve.requests.ok")
     }
 
-    /// Requests shed with [`Status::Overloaded`] (both queues).
+    /// Requests shed with [`Status::Overloaded`] (connection intake and
+    /// work queue).
     pub fn shed(&self) -> u64 {
         self.profile.counter("serve.shed.conn") + self.profile.counter("serve.shed.work")
     }
+
+    /// Requests refused with [`Status::ShuttingDown`] because they
+    /// arrived during drain — counted apart from genuine overload so a
+    /// rolling restart is not mistaken for capacity exhaustion.
+    pub fn shed_shutdown(&self) -> u64 {
+        self.profile.counter("serve.shed.shutdown")
+    }
+}
+
+/// Where a job's response must go.
+enum Reply {
+    /// Thread mode: write the frame on this (blocking) stream.
+    Stream(TcpStream),
+    /// Event mode: route the encoded response back to the loop under
+    /// this connection token (via the completion queue + doorbell).
+    Event(u64),
 }
 
 /// One parsed request awaiting dispatch.
 struct Job {
     req: Request,
-    conn: TcpStream,
+    reply: Reply,
     received: Instant,
+}
+
+/// Encoded responses traveling from the dispatcher back to the event
+/// loop: `(connection token, encoded response payload)`.
+type Completion = (u64, Vec<u8>);
+
+/// Maps a refused queue push to its wire response and shed counter —
+/// the single source of truth for both fronts and both queues. A *full*
+/// queue is genuine overload (retry after the hint); a *closed* queue
+/// means the server is draining, so the response says "shutting down"
+/// with a zero retry hint (retry immediately, elsewhere) and is counted
+/// separately.
+fn shed_outcome(cfg: &ServerConfig, closed: bool, stage: &'static str) -> (Response, &'static str) {
+    if closed {
+        (
+            Response::reject(Status::ShuttingDown, "server is draining; retry elsewhere")
+                .with_retry_after(0),
+            "serve.shed.shutdown",
+        )
+    } else {
+        let counter = if stage == "accept" {
+            "serve.shed.conn"
+        } else {
+            "serve.shed.work"
+        };
+        (
+            Response::reject(Status::Overloaded, format!("{stage} queue full"))
+                .with_retry_after(cfg.retry_after.as_millis() as u64),
+            counter,
+        )
+    }
+}
+
+/// Answers one job — the single exit point for Ok, BadRequest, shed, and
+/// deadline responses alike, so every answered request lands in the
+/// `serve.latency_ms` histogram (tail latency is most interesting
+/// exactly when requests are being shed, which is when the old per-path
+/// responders used to skip it).
+fn finish_job(job: Job, resp: &Response, completions: Option<&Bounded<Completion>>, obs: &mut Obs) {
+    obs.hist(
+        "serve.latency_ms",
+        job.received.elapsed().as_millis() as u64,
+    );
+    match job.reply {
+        Reply::Stream(conn) => respond_stream(conn, resp, obs),
+        Reply::Event(token) => {
+            if let Some(q) = completions {
+                let _ = q.try_push((token, resp.encode()));
+            }
+        }
+    }
+}
+
+/// Writes one response frame on a blocking stream, counting (not
+/// propagating) write failures — a peer that hung up is not the server's
+/// problem.
+fn respond_stream(mut conn: TcpStream, resp: &Response, obs: &mut Obs) {
+    if write_frame(&mut conn, &resp.encode()).is_err() {
+        obs.counter("serve.responses.write_failed", 1);
+    }
 }
 
 /// A TCP simulation server. [`Server::bind`] claims the address;
@@ -148,10 +265,61 @@ impl Server {
     }
 
     /// Serves until shutdown, then drains in-flight work and returns the
-    /// metrics profile. The calling thread runs the accept loop; parsing
-    /// and dispatch run on scoped threads that are joined before return,
-    /// so when this returns every accepted connection has been answered.
+    /// metrics profile. Dispatch runs on a scoped thread that is joined
+    /// before return, so when this returns every parsed request has been
+    /// answered.
     pub fn run(self) -> ServeStats {
+        #[cfg(unix)]
+        if self.cfg.event_loop {
+            match (poll::Poller::new(), poll::Doorbell::new()) {
+                (Ok(poller), Ok(bell)) => return self.run_event(poller, bell),
+                _ => eprintln!(
+                    "replay-serve: readiness polling unavailable on this target; \
+                     falling back to thread-per-connection"
+                ),
+            }
+        }
+        self.run_threads()
+    }
+
+    /// The readiness-polling front: one thread owns every connection's
+    /// state machine; the dispatcher answers through the completion
+    /// queue, whose doorbell wakes the poll loop.
+    #[cfg(unix)]
+    fn run_event(self, poller: poll::Poller, bell: poll::Doorbell) -> ServeStats {
+        let cfg = &self.cfg;
+        let work_q: Arc<Bounded<Job>> = Arc::new(Bounded::new(cfg.work_queue));
+        let completions: Arc<Bounded<Completion>> = Arc::new(Bounded::new(usize::MAX));
+        let bell = Arc::new(bell);
+        {
+            let bell = Arc::clone(&bell);
+            completions.set_waker(Box::new(move || bell.ring()));
+        }
+        let registry = Registry::new();
+
+        std::thread::scope(|scope| {
+            {
+                let work_q = Arc::clone(&work_q);
+                let completions = Arc::clone(&completions);
+                let registry = &registry;
+                scope.spawn(move || {
+                    let profile = dispatcher_loop(cfg, &work_q, Some(&completions));
+                    registry.submit(1, profile);
+                });
+            }
+            let mut el = event::EventLoop::new(cfg, &self.listener, poller, bell, &work_q);
+            let profile = el.serve(&completions, || self.stopping());
+            registry.submit(0, profile);
+        });
+
+        ServeStats {
+            profile: registry.finish(),
+        }
+    }
+
+    /// The original blocking front: the calling thread accepts, reader
+    /// threads parse, the dispatcher answers on the job's own stream.
+    fn run_threads(self) -> ServeStats {
         let cfg = &self.cfg;
         let conn_q: Arc<Bounded<TcpStream>> = Arc::new(Bounded::new(cfg.conn_queue));
         let work_q: Arc<Bounded<Job>> = Arc::new(Bounded::new(cfg.work_queue));
@@ -179,7 +347,7 @@ impl Server {
                 let registry = &registry;
                 let n_readers = cfg.readers.max(1);
                 scope.spawn(move || {
-                    let profile = dispatcher_loop(cfg, &work_q);
+                    let profile = dispatcher_loop(cfg, &work_q, None);
                     registry.submit(1 + n_readers, profile);
                 });
             }
@@ -194,18 +362,14 @@ impl Server {
                         let _ = conn.set_read_timeout(Some(cfg.io_timeout));
                         let _ = conn.set_write_timeout(Some(cfg.io_timeout));
                         let _ = conn.set_nodelay(true);
-                        if let Err(PushError::Full(conn) | PushError::Closed(conn)) =
-                            conn_q.try_push(conn)
-                        {
+                        if let Err(err) = conn_q.try_push(conn) {
                             // Shed at the door: a typed response, not a
                             // silently dropped connection.
-                            obs.counter("serve.shed.conn", 1);
-                            respond(
-                                conn,
-                                &Response::reject(Status::Overloaded, "accept queue full")
-                                    .with_retry_after(cfg.retry_after.as_millis() as u64),
-                                &mut obs,
-                            );
+                            let closed = matches!(err, PushError::Closed(_));
+                            let (PushError::Full(conn) | PushError::Closed(conn)) = err;
+                            let (resp, counter) = shed_outcome(cfg, closed, "accept");
+                            obs.counter(counter, 1);
+                            respond_stream(conn, &resp, &mut obs);
                         }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -228,7 +392,8 @@ impl Server {
     }
 }
 
-/// Parses requests off accepted connections and queues them for dispatch.
+/// Parses requests off accepted connections and queues them for dispatch
+/// (thread mode only).
 fn reader_loop(cfg: &ServerConfig, conn_q: &Bounded<TcpStream>, work_q: &Bounded<Job>) -> Profile {
     let mut obs = Obs::collecting();
     loop {
@@ -245,37 +410,75 @@ fn reader_loop(cfg: &ServerConfig, conn_q: &Bounded<TcpStream>, work_q: &Bounded
             Ok(req) => req,
             Err(e) => {
                 obs.counter("serve.requests.bad", 1);
-                respond(conn, &Response::reject(Status::BadRequest, e), &mut obs);
+                respond_stream(conn, &Response::reject(Status::BadRequest, e), &mut obs);
                 continue;
             }
         };
         obs.counter("serve.requests.received", 1);
         let job = Job {
             req,
-            conn,
+            reply: Reply::Stream(conn),
             received,
         };
-        if let Err(PushError::Full(job) | PushError::Closed(job)) = work_q.try_push(job) {
-            obs.counter("serve.shed.work", 1);
-            respond(
-                job.conn,
-                &Response::reject(Status::Overloaded, "work queue full")
-                    .with_retry_after(cfg.retry_after.as_millis() as u64),
-                &mut obs,
-            );
+        if let Err(err) = work_q.try_push(job) {
+            let closed = matches!(err, PushError::Closed(_));
+            let (PushError::Full(job) | PushError::Closed(job)) = err;
+            let (resp, counter) = shed_outcome(cfg, closed, "work");
+            obs.counter(counter, 1);
+            finish_job(job, &resp, None, &mut obs);
         }
     }
     obs.into_profile()
 }
 
+/// Decoded inline traces kept warm, keyed by content digest, with a
+/// hard capacity and deterministic least-recently-used eviction (the
+/// entry order is a pure function of the request sequence). Without the
+/// bound, sustained unique-inline-trace traffic grew the old map — and
+/// server memory — without limit.
+struct InlineTraceCache {
+    cap: usize,
+    /// LRU order: least recent at the front, most recent at the back.
+    entries: Vec<(u64, Arc<Trace>)>,
+}
+
+impl InlineTraceCache {
+    fn new(cap: usize) -> InlineTraceCache {
+        InlineTraceCache {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, digest: u64) -> Option<Arc<Trace>> {
+        let i = self.entries.iter().position(|(d, _)| *d == digest)?;
+        let entry = self.entries.remove(i);
+        let trace = Arc::clone(&entry.1);
+        self.entries.push(entry);
+        Some(trace)
+    }
+
+    fn insert(&mut self, digest: u64, trace: Arc<Trace>, obs: &mut Obs) {
+        if self.cap == 0 {
+            return;
+        }
+        while self.entries.len() >= self.cap {
+            self.entries.remove(0);
+            obs.counter("serve.inline_trace.evictions", 1);
+        }
+        self.entries.push((digest, trace));
+    }
+}
+
 /// Collects jobs into batches, deduplicates identical requests, runs each
-/// batch as one pool submission, and writes responses.
-fn dispatcher_loop(cfg: &ServerConfig, work_q: &Bounded<Job>) -> Profile {
+/// batch as one pool submission, and answers every job (both fronts).
+fn dispatcher_loop(
+    cfg: &ServerConfig,
+    work_q: &Bounded<Job>,
+    completions: Option<&Bounded<Completion>>,
+) -> Profile {
     let mut obs = Obs::collecting();
-    // Warm-start cache for inline traces, keyed by content digest: a
-    // resubmitted trace file skips decoding (named workloads already get
-    // this through the process-wide TraceStore).
-    let mut inline_traces: HashMap<u64, Arc<Trace>> = HashMap::new();
+    let mut inline_traces = InlineTraceCache::new(cfg.inline_cache_cap);
     loop {
         let first = match work_q.pop() {
             Pop::Item(j) => j,
@@ -300,7 +503,7 @@ fn dispatcher_loop(cfg: &ServerConfig, work_q: &Bounded<Job>) -> Profile {
         if !cfg.batch_hold.is_zero() {
             std::thread::sleep(cfg.batch_hold);
         }
-        process_batch(cfg, batch, &mut inline_traces, &mut obs);
+        process_batch(cfg, batch, &mut inline_traces, completions, &mut obs);
     }
     obs.into_profile()
 }
@@ -309,7 +512,8 @@ fn dispatcher_loop(cfg: &ServerConfig, work_q: &Bounded<Job>) -> Profile {
 fn process_batch(
     cfg: &ServerConfig,
     batch: Vec<Job>,
-    inline_traces: &mut HashMap<u64, Arc<Trace>>,
+    inline_traces: &mut InlineTraceCache,
+    completions: Option<&Bounded<Completion>>,
     obs: &mut Obs,
 ) {
     // Shed expired jobs first: simulating a request nobody is waiting on
@@ -323,14 +527,11 @@ fn process_batch(
         };
         if job.received.elapsed() > limit {
             obs.counter("serve.requests.deadline", 1);
-            respond(
-                job.conn,
-                &Response::reject(
-                    Status::DeadlineExceeded,
-                    format!("queued longer than {limit:?}"),
-                ),
-                obs,
+            let resp = Response::reject(
+                Status::DeadlineExceeded,
+                format!("queued longer than {limit:?}"),
             );
+            finish_job(job, &resp, completions, obs);
         } else {
             live.push(job);
         }
@@ -363,15 +564,15 @@ fn process_batch(
             },
             Source::TraceBytes(bytes) => {
                 let digest = replay_store::digest_bytes(bytes);
-                match inline_traces.get(&digest) {
+                match inline_traces.get(digest) {
                     Some(t) => {
                         obs.counter("serve.inline_trace.hits", 1);
-                        Ok(Arc::clone(t))
+                        Ok(t)
                     }
                     None => match read_trace(&bytes[..]) {
                         Ok(t) => {
                             let t = Arc::new(t);
-                            inline_traces.insert(digest, Arc::clone(&t));
+                            inline_traces.insert(digest, Arc::clone(&t), obs);
                             Ok(t)
                         }
                         Err(e) => Err(format!("undecodable trace payload: {e}")),
@@ -382,9 +583,10 @@ fn process_batch(
         match resolved {
             Ok(trace) => runnable.push((trace, req.timings, jobs)),
             Err(msg) => {
+                let resp = Response::reject(Status::BadRequest, &msg);
                 for job in jobs {
                     obs.counter("serve.requests.bad", 1);
-                    respond(job.conn, &Response::reject(Status::BadRequest, &msg), obs);
+                    finish_job(job, &resp, completions, obs);
                 }
             }
         }
@@ -413,21 +615,398 @@ fn process_batch(
             chunk,
             timings,
         );
+        let resp = Response::ok(json.into_bytes());
         for job in jobs {
             obs.counter("serve.requests.ok", 1);
-            obs.hist(
-                "serve.latency_ms",
-                job.received.elapsed().as_millis() as u64,
-            );
-            respond(job.conn, &Response::ok(json.clone().into_bytes()), obs);
+            finish_job(job, &resp, completions, obs);
         }
     }
 }
 
-/// Writes one response frame, counting (not propagating) write failures —
-/// a peer that hung up is not the server's problem.
-fn respond(mut conn: TcpStream, resp: &Response, obs: &mut Obs) {
-    if write_frame(&mut conn, &resp.encode()).is_err() {
-        obs.counter("serve.responses.write_failed", 1);
+#[cfg(unix)]
+mod event {
+    //! The readiness-polling front half.
+
+    use super::*;
+    use crate::poll::{Doorbell, Event, Interest, Poller};
+    use std::collections::HashMap;
+    use std::os::fd::AsRawFd;
+
+    const TOK_LISTENER: u64 = 0;
+    const TOK_BELL: u64 = 1;
+    const TOK_FIRST_CONN: u64 = 2;
+
+    /// The event loop's whole world: the poller, every live connection's
+    /// state machine, and the counters.
+    pub(super) struct EventLoop<'a> {
+        cfg: &'a ServerConfig,
+        listener: &'a TcpListener,
+        poller: Poller,
+        bell: Arc<Doorbell>,
+        work_q: &'a Bounded<Job>,
+        conns: HashMap<u64, Conn<TcpStream>>,
+        next_token: u64,
+        /// Jobs handed to the dispatcher whose completions have not come
+        /// back yet — the drain-exit condition.
+        in_flight: usize,
+        draining: bool,
+        obs: Obs,
+    }
+
+    impl<'a> EventLoop<'a> {
+        pub(super) fn new(
+            cfg: &'a ServerConfig,
+            listener: &'a TcpListener,
+            poller: Poller,
+            bell: Arc<Doorbell>,
+            work_q: &'a Bounded<Job>,
+        ) -> EventLoop<'a> {
+            EventLoop {
+                cfg,
+                listener,
+                poller,
+                bell,
+                work_q,
+                conns: HashMap::new(),
+                next_token: TOK_FIRST_CONN,
+                in_flight: 0,
+                draining: false,
+                obs: Obs::collecting(),
+            }
+        }
+
+        /// Runs until `stopping` and the subsequent drain complete;
+        /// returns this thread's metrics.
+        pub(super) fn serve(
+            &mut self,
+            completions: &Bounded<Completion>,
+            stopping: impl Fn() -> bool,
+        ) -> Profile {
+            self.poller
+                .add(self.listener.as_raw_fd(), TOK_LISTENER, Interest::READ)
+                .expect("register listener");
+            self.poller
+                .add(self.bell.fd(), TOK_BELL, Interest::READ)
+                .expect("register doorbell");
+
+            // Sweep stalled connections a few times per timeout window;
+            // cap the interval so huge timeouts still sweep regularly.
+            let sweep_every = (self.cfg.io_timeout / 4)
+                .max(Duration::from_millis(5))
+                .min(Duration::from_secs(1));
+            let mut last_sweep = Instant::now();
+            let mut events: Vec<Event> = Vec::new();
+
+            loop {
+                if !self.draining && stopping() {
+                    self.begin_drain();
+                }
+                if self.draining && self.in_flight == 0 && self.conns.is_empty() {
+                    break;
+                }
+                let n = self.poller.wait(&mut events, 20).unwrap_or(0);
+                if n > 0 {
+                    self.obs.counter("serve.poll.wakeups", 1);
+                }
+                let now = Instant::now();
+                for &ev in &events {
+                    match ev.token {
+                        TOK_LISTENER => self.accept_ready(now),
+                        TOK_BELL => self.bell.drain(),
+                        token => self.conn_event(token, ev, now),
+                    }
+                }
+                // Always drain completions — cheap when empty, and doing
+                // it unconditionally means a doorbell ring can never be
+                // lost between the drain and the next wait.
+                while let Pop::Item((token, payload)) = completions.try_pop() {
+                    self.in_flight -= 1;
+                    self.deliver(token, &payload, now);
+                }
+                if now.saturating_duration_since(last_sweep) >= sweep_every {
+                    last_sweep = now;
+                    self.sweep(now);
+                }
+            }
+            std::mem::replace(&mut self.obs, Obs::disabled()).into_profile()
+        }
+
+        /// Stop accepting; close connections that never completed a
+        /// request (they may never speak, and waiting on them would hold
+        /// the drain hostage); close the work queue so the dispatcher
+        /// drains what was parsed and exits.
+        fn begin_drain(&mut self) {
+            self.draining = true;
+            let _ = self.poller.remove(self.listener.as_raw_fd());
+            self.conns
+                .retain(|_, c| matches!(c.state(), ConnState::Dispatched) || c.writing());
+            self.work_q.close();
+        }
+
+        fn accept_ready(&mut self, now: Instant) {
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        self.obs.counter("serve.accepted", 1);
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        let fd = stream.as_raw_fd();
+                        let mut conn = Conn::new(stream, token, now);
+                        if self.conns.len() >= self.cfg.max_conns {
+                            // Over the ceiling: answer Overloaded through
+                            // the same state machine (the write may need
+                            // readiness too) and count it as a conn shed.
+                            let (resp, counter) = shed_outcome(self.cfg, false, "accept");
+                            self.obs.counter(counter, 1);
+                            conn.queue_response(&resp.encode());
+                            self.obs.counter("serve.conns.writing", 1);
+                            if self.poller.add(fd, token, Interest::WRITE).is_ok() {
+                                self.conns.insert(token, conn);
+                                self.drive_write(token, now);
+                            }
+                        } else if self.poller.add(fd, token, Interest::READ).is_ok() {
+                            self.obs.counter("serve.conns.idle", 1);
+                            self.conns.insert(token, conn);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        /// One readiness event for one connection.
+        fn conn_event(&mut self, token: u64, ev: Event, now: Instant) {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return; // stale event for a finished connection
+            };
+            if ev.readable
+                && matches!(
+                    conn.state(),
+                    ConnState::Accepted | ConnState::ReadingLen | ConnState::ReadingPayload
+                )
+            {
+                let was_idle = conn.state() == ConnState::Accepted;
+                let step = conn.on_readable(now);
+                if was_idle && conn.state() != ConnState::Accepted {
+                    self.obs.counter("serve.conns.reading", 1);
+                }
+                match step {
+                    ReadStep::Frame(payload) => self.frame_complete(token, &payload, now),
+                    ReadStep::NeedMore { bytes } => {
+                        if bytes > 0 {
+                            self.obs.hist("serve.read.partial_bytes", bytes as u64);
+                        }
+                    }
+                    ReadStep::TooLarge(len) => {
+                        self.obs.counter("serve.requests.bad", 1);
+                        let resp = Response::reject(
+                            Status::BadRequest,
+                            format!("frame length {len} exceeds {}", crate::proto::MAX_FRAME),
+                        );
+                        self.queue_and_write(token, &resp.encode(), now);
+                    }
+                    ReadStep::Disconnected => {
+                        self.obs.counter("serve.conns.disconnected", 1);
+                        self.conns.remove(&token);
+                        return;
+                    }
+                }
+            } else if ev.closed && !matches!(self.state_of(token), Some(ConnState::Dispatched)) {
+                // Hangup on a connection with nothing readable and no
+                // response owed to it.
+                if self.state_of(token).is_some() {
+                    self.obs.counter("serve.conns.disconnected", 1);
+                    self.conns.remove(&token);
+                    return;
+                }
+            }
+            if ev.writable || ev.closed {
+                if let Some(conn) = self.conns.get(&token) {
+                    if conn.writing() {
+                        self.drive_write(token, now);
+                    }
+                }
+            }
+        }
+
+        fn state_of(&self, token: u64) -> Option<ConnState> {
+            self.conns.get(&token).map(|c| c.state())
+        }
+
+        /// A complete request frame arrived: decode, then dispatch or
+        /// shed — all without leaving this thread.
+        fn frame_complete(&mut self, token: u64, payload: &[u8], now: Instant) {
+            match Request::decode(payload) {
+                Ok(req) => {
+                    self.obs.counter("serve.requests.received", 1);
+                    let job = Job {
+                        req,
+                        reply: Reply::Event(token),
+                        received: now,
+                    };
+                    match self.work_q.try_push(job) {
+                        Ok(()) => {
+                            self.in_flight += 1;
+                            // Nothing to read or write until the
+                            // completion comes back.
+                            if let Some(conn) = self.conns.get(&token) {
+                                let fd = conn.stream().as_raw_fd();
+                                let _ = self.poller.modify(fd, token, Interest::NONE);
+                            }
+                        }
+                        Err(err) => {
+                            let closed = matches!(err, PushError::Closed(_));
+                            let (PushError::Full(job) | PushError::Closed(job)) = err;
+                            let (resp, counter) = shed_outcome(self.cfg, closed, "work");
+                            self.obs.counter(counter, 1);
+                            self.obs.hist(
+                                "serve.latency_ms",
+                                job.received.elapsed().as_millis() as u64,
+                            );
+                            self.queue_and_write(token, &resp.encode(), now);
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.obs.counter("serve.requests.bad", 1);
+                    let resp = Response::reject(Status::BadRequest, e.to_string());
+                    self.queue_and_write(token, &resp.encode(), now);
+                }
+            }
+        }
+
+        /// A completion came back from the dispatcher for `token`.
+        fn deliver(&mut self, token: u64, payload: &[u8], now: Instant) {
+            if self.conns.contains_key(&token) {
+                self.queue_and_write(token, payload, now);
+            } else {
+                // The peer hung up while its request was being simulated.
+                self.obs.counter("serve.responses.conn_gone", 1);
+            }
+        }
+
+        /// Queues an encoded response on a connection and pushes as many
+        /// bytes as the socket will take right now.
+        fn queue_and_write(&mut self, token: u64, payload: &[u8], now: Instant) {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.queue_response(payload);
+                self.obs.counter("serve.conns.writing", 1);
+                self.drive_write(token, now);
+            }
+        }
+
+        fn drive_write(&mut self, token: u64, now: Instant) {
+            let (step, fd) = match self.conns.get_mut(&token) {
+                Some(conn) => (conn.on_writable(now), conn.stream().as_raw_fd()),
+                None => return,
+            };
+            match step {
+                WriteStep::Flushed => {
+                    self.conns.remove(&token);
+                }
+                WriteStep::NeedMore { bytes } => {
+                    if bytes > 0 {
+                        self.obs.hist("serve.write.partial_bytes", bytes as u64);
+                    }
+                    let _ = self.poller.modify(fd, token, Interest::WRITE);
+                }
+                WriteStep::Disconnected => {
+                    self.obs.counter("serve.responses.write_failed", 1);
+                    self.conns.remove(&token);
+                }
+            }
+        }
+
+        /// Closes connections stalled mid-frame or mid-response past
+        /// `io_timeout` (a slow-loris peer evaporates here); connections
+        /// that never sent a byte are idle, not stalled, and stay.
+        fn sweep(&mut self, now: Instant) {
+            let timeout = self.cfg.io_timeout;
+            let stale: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| {
+                    (c.mid_frame() || c.writing())
+                        && now.saturating_duration_since(c.last_activity) > timeout
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            for token in stale {
+                self.obs.counter("serve.conns.timed_out", 1);
+                self.conns.remove(&token);
+            }
+            self.obs.hist("serve.conns.open", self.conns.len() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    #[test]
+    fn full_queue_sheds_overloaded_with_retry_hint() {
+        let c = cfg();
+        let (resp, counter) = shed_outcome(&c, false, "accept");
+        assert_eq!(resp.status, Status::Overloaded);
+        assert_eq!(resp.retry_after_ms, c.retry_after.as_millis() as u64);
+        assert_eq!(counter, "serve.shed.conn");
+        let (resp, counter) = shed_outcome(&c, false, "work");
+        assert_eq!(resp.status, Status::Overloaded);
+        assert_eq!(counter, "serve.shed.work");
+    }
+
+    #[test]
+    fn closed_queue_sheds_shutting_down_with_zero_retry() {
+        // Regression: a closed queue used to be answered "Overloaded:
+        // accept queue full", telling clients to retry a server that is
+        // going away. Draining is its own status and its own counter.
+        let c = cfg();
+        for stage in ["accept", "work"] {
+            let (resp, counter) = shed_outcome(&c, true, stage);
+            assert_eq!(resp.status, Status::ShuttingDown, "{stage}");
+            assert_eq!(resp.retry_after_ms, 0, "{stage}");
+            assert!(resp.status.is_retryable());
+            assert_eq!(counter, "serve.shed.shutdown", "{stage}");
+        }
+    }
+
+    #[test]
+    fn inline_trace_cache_bounds_and_evicts_lru() {
+        let w = workloads::by_name("gzip").expect("workload");
+        let trace = Arc::new(w.segment_trace(0, 50));
+        let mut cache = InlineTraceCache::new(2);
+        let mut obs = Obs::collecting();
+        cache.insert(1, Arc::clone(&trace), &mut obs);
+        cache.insert(2, Arc::clone(&trace), &mut obs);
+        // Touch 1 so it becomes most-recent; inserting 3 must evict 2.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, Arc::clone(&trace), &mut obs);
+        assert!(cache.get(2).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        let profile = obs.into_profile();
+        assert_eq!(profile.counter("serve.inline_trace.evictions"), 1);
+    }
+
+    #[test]
+    fn inline_trace_cache_zero_capacity_never_stores() {
+        let w = workloads::by_name("gzip").expect("workload");
+        let trace = Arc::new(w.segment_trace(0, 50));
+        let mut cache = InlineTraceCache::new(0);
+        let mut obs = Obs::collecting();
+        cache.insert(9, trace, &mut obs);
+        assert!(cache.get(9).is_none());
+        assert_eq!(
+            obs.into_profile().counter("serve.inline_trace.evictions"),
+            0
+        );
     }
 }
