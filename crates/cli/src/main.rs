@@ -397,6 +397,10 @@ const SPEC_SERVE: CmdSpec = CmdSpec {
             a local `replay report --json` would produce",
     flags: &[
         flag(&["addr"], "ADDR"),
+        flag(&["peers"], "ADDR,ADDR,..."),
+        flag(&["cluster-addr"], "ADDR"),
+        flag(&["cluster-proxy"], ""),
+        flag(&["push-fanout"], "N"),
         JOBS_FLAG,
         flag(&["event-loop"], "on|off"),
         flag(&["max-conns"], "N"),
@@ -413,7 +417,7 @@ const SPEC_SUBMIT: CmdSpec = CmdSpec {
     about: "submit a simulation request to a running `replay serve` and write \
             the report it returns (retries overload with seeded backoff)",
     flags: &[
-        flag(&["addr"], "ADDR"),
+        flag(&["addr"], "ADDR[,ADDR...]"),
         flag(&["n"], "N"),
         flag(&["json"], "FILE"),
         flag(&["timings"], ""),
@@ -629,6 +633,16 @@ fn configure_store(opts: &Opts) {
         .or_else(|| std::env::var_os(replay_store::CACHE_DIR_ENV).map(std::path::PathBuf::from))
         .unwrap_or_else(|| std::path::PathBuf::from(".replay-cache"));
     replay_store::Store::configure(Some(dir));
+}
+
+/// Splits a comma-separated `host:port` list, trimming whitespace and
+/// dropping empty entries (`a:1,,b:2` and `a:1, b:2` both work).
+fn parse_addr_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
 }
 
 /// Loads a trace by workload name or from a trace file. Workload traces
@@ -853,8 +867,47 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if !opts.positional.is_empty() {
         return Err(SPEC_SERVE.usage());
     }
-    configure_store(&opts);
     let addr = opts.get("addr").unwrap_or(replay_serve::DEFAULT_ADDR);
+    let peers: Option<Vec<String>> = opts.get("peers").map(parse_addr_list);
+    if matches!(&peers, Some(p) if p.is_empty()) {
+        return Err("--peers needs at least one host:port".to_string());
+    }
+    // The address this node advertises on the ring — what peers dial and
+    // what NotOwner redirects name. Defaults to the listen address, which
+    // therefore must be concrete (no port 0) in cluster mode.
+    let self_addr = opts.get("cluster-addr").unwrap_or(addr).to_string();
+    if peers.is_some() && self_addr.ends_with(":0") {
+        return Err(
+            "cluster mode needs a concrete advertised address: pass --cluster-addr \
+             HOST:PORT (or bind a fixed --addr)"
+                .to_string(),
+        );
+    }
+    // Cluster nodes sharing a working directory must not share one
+    // artifact cache — replication tests would self-satisfy through the
+    // common disk. Unless the operator pins a directory explicitly, each
+    // node gets its own namespace under the default cache root.
+    if peers.is_some()
+        && !opts.has("no-store")
+        && opts.get("cache-dir").is_none()
+        && std::env::var_os(replay_store::CACHE_DIR_ENV).is_none()
+    {
+        let node: String = self_addr
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '.' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        replay_store::Store::configure(Some(std::path::PathBuf::from(format!(
+            ".replay-cache/node-{node}"
+        ))));
+    } else {
+        configure_store(&opts);
+    }
     let mut cfg = replay_serve::ServerConfig {
         jobs: opts.jobs()?,
         ..replay_serve::ServerConfig::default()
@@ -913,9 +966,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     } else {
         "thread front"
     };
-    let server =
+    let mut server =
         replay_serve::Server::bind(addr, cfg).map_err(|e| format!("binding {addr:?}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(peer_list) = peers {
+        let mut ccfg = replay_serve::ClusterConfig::new(self_addr.clone(), peer_list);
+        ccfg.proxy = opts.has("cluster-proxy");
+        ccfg.push_fanout = opts.count("push-fanout", ccfg.push_fanout)?;
+        let members = {
+            // The ring dedups and adds self if absent; mirror that here
+            // so the banner's member count is what the ring will use.
+            let mut m: Vec<&str> = ccfg.peers.iter().map(String::as_str).collect();
+            m.push(&self_addr);
+            m.sort_unstable();
+            m.dedup();
+            m.len()
+        };
+        println!(
+            "cluster mode: {self_addr} on a {members}-member ring ({} misses, fanout {})",
+            if ccfg.proxy { "proxies" } else { "redirects" },
+            ccfg.push_fanout,
+        );
+        server.configure_cluster(ccfg);
+    }
     println!("replay-serve listening on {bound} ({jobs} workers, {front}; SIGTERM/ctrl-c drains)");
     let stats = server.run();
     println!("drained; serve metrics:");
@@ -944,13 +1017,21 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         scale: n as u64,
         timings: opts.has("timings"),
         deadline_ms: opts.count("deadline-ms", 0)? as u64,
+        relayed: false,
     };
     let addr = opts
         .get("addr")
         .unwrap_or(replay_serve::DEFAULT_ADDR)
         .to_string();
+    // `--addr a:1,b:2,c:3` enables ring-aware routing with failover: the
+    // client dials the request key's owner first and rotates on connect
+    // failure, Overloaded, or ShuttingDown.
+    let addrs = parse_addr_list(&addr);
+    if addrs.is_empty() {
+        return Err("--addr needs at least one host:port".to_string());
+    }
     let mut cfg = replay_serve::ClientConfig {
-        addr: addr.clone(),
+        addrs,
         ..replay_serve::ClientConfig::default()
     };
     cfg.retries = opts.count("retries", cfg.retries as usize)? as u32;

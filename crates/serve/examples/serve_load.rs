@@ -61,7 +61,7 @@ fn run_front(event_loop: bool) -> FrontResult {
             .map(|c| {
                 scope.spawn(move || {
                     let mut client = Client::new(ClientConfig {
-                        addr: addr.to_string(),
+                        addrs: vec![addr.to_string()],
                         seed: 1000 + c as u64,
                         retries: 20,
                         base_backoff: Duration::from_millis(5),
@@ -78,6 +78,7 @@ fn run_front(event_loop: bool) -> FrontResult {
                             scale: SCALE,
                             timings: false,
                             deadline_ms: 0,
+                            relayed: false,
                         };
                         let t = Instant::now();
                         let resp = client.submit(&req).expect("submit converges");

@@ -1,5 +1,6 @@
 //! The submitting client: one request, retried with seeded-jitter
-//! exponential backoff on *retryable* outcomes only.
+//! exponential backoff on *retryable* outcomes only — and, given several
+//! addresses, ring-aware routing with failover that can't hot-loop.
 //!
 //! Retryable means the server said so ([`Status::is_retryable`]:
 //! overloaded or draining) or the connection itself failed in a way that
@@ -8,12 +9,33 @@
 //! returned immediately; retrying a request the server *answered*
 //! negatively only adds load.
 //!
+//! With more than one address, the client builds the same deterministic
+//! [`Ring`] the servers build and dials the request key's *owner* first,
+//! so a well-configured cluster answers most requests with zero
+//! redirects. Every retryable failure — connect refused, `ShuttingDown`,
+//! `Overloaded` — rotates to the next node on the key's ring route,
+//! which is exactly the node that would own the key if the failed one
+//! left the ring. A [`Status::NotOwner`] redirect (the servers' member
+//! list knows better than ours) is followed immediately, once, with the
+//! request marked [`Request::relayed`] — and a relayed request is never
+//! redirected again, so client↔cluster disagreement degrades to one
+//! extra hop, never a loop.
+//!
+//! Two anti-hot-loop guarantees are pinned by tests here:
+//! every backoff delay is at least [`MIN_BACKOFF_MS`] even with a zero
+//! `base_backoff` (the old `nanos/2 + rng % (nanos/2+1)` collapsed to a
+//! zero-length sleep and a busy reconnect loop), and a single-address
+//! client that hits a *draining* server waits at least
+//! [`DRAIN_FLOOR_MS`] instead of hammering it with its own
+//! `retry_after 0` hint.
+//!
 //! The jitter stream comes from [`replay_rng::SmallRng`] seeded by
 //! [`ClientConfig::seed`], so a test (or a reproduction) observes the
 //! exact same delay schedule every run — randomized backoff without
 //! nondeterministic tests.
 
 use crate::proto::{read_frame, write_frame, Request, Response, Status};
+use crate::ring::Ring;
 use replay_rng::SmallRng;
 use std::io::{self};
 use std::net::TcpStream;
@@ -23,8 +45,10 @@ use std::time::Duration;
 /// 8 retries starting at 25 ms.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
-    /// Server address, `host:port`.
-    pub addr: String,
+    /// Server addresses, `host:port` each. One address is plain
+    /// single-server mode; several enable ring-aware routing (dial the
+    /// key's owner first) and failover rotation.
+    pub addrs: Vec<String>,
     /// Retry attempts after the first try (0 = try exactly once).
     pub retries: u32,
     /// First backoff delay; doubles each retry.
@@ -40,10 +64,33 @@ pub struct ClientConfig {
 /// The default `replay serve` port: "RS" = 0x5253.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:21075";
 
+/// Minimum backoff before any reconnect, whatever the configuration
+/// says. A zero `base_backoff` used to produce zero-length sleeps — a
+/// busy loop of connect attempts against a server that just said it was
+/// overloaded.
+pub const MIN_BACKOFF_MS: u64 = 1;
+
+/// Minimum wait before re-dialing the *same* server that answered
+/// [`Status::ShuttingDown`]. Drain responses carry `retry_after 0`
+/// ("retry immediately, elsewhere"); a client with nowhere else to go
+/// must not turn that hint into a tight loop against the draining
+/// process.
+pub const DRAIN_FLOOR_MS: u64 = 10;
+
+impl ClientConfig {
+    /// A config for one server address with default tuning.
+    pub fn for_addr(addr: impl Into<String>) -> ClientConfig {
+        ClientConfig {
+            addrs: vec![addr.into()],
+            ..ClientConfig::default()
+        }
+    }
+}
+
 impl Default for ClientConfig {
     fn default() -> ClientConfig {
         ClientConfig {
-            addr: DEFAULT_ADDR.to_string(),
+            addrs: vec![DEFAULT_ADDR.to_string()],
             retries: 8,
             base_backoff: Duration::from_millis(25),
             max_backoff: Duration::from_secs(2),
@@ -93,10 +140,20 @@ impl std::error::Error for ClientError {}
 /// What one attempt produced, before retry policy is applied.
 enum Attempt {
     Done(Response),
-    /// Retryable; `floor_ms` is the server's retry-after hint (0 = none).
+    /// The node said another member owns the key: re-send there, marked
+    /// relayed, without sleeping — a redirect is information, not
+    /// congestion. Consumes an attempt, so redirects are bounded by the
+    /// retry budget even against a confused cluster.
+    Redirect {
+        owner: String,
+        why: String,
+    },
+    /// Retryable; `floor_ms` is the server's retry-after hint (0 = none)
+    /// and `drain` marks a [`Status::ShuttingDown`] answer.
     Retry {
         why: String,
         floor_ms: u64,
+        drain: bool,
     },
     Fatal(ClientError),
 }
@@ -106,29 +163,86 @@ enum Attempt {
 pub struct Client {
     cfg: ClientConfig,
     rng: SmallRng,
+    /// The same deterministic ring the servers build — present only with
+    /// more than one address.
+    ring: Option<Ring>,
 }
 
 impl Client {
     /// A client with the given tuning; the backoff jitter stream is
     /// deterministic in `cfg.seed`.
-    pub fn new(cfg: ClientConfig) -> Client {
+    pub fn new(mut cfg: ClientConfig) -> Client {
+        if cfg.addrs.is_empty() {
+            cfg.addrs.push(DEFAULT_ADDR.to_string());
+        }
+        let ring = if cfg.addrs.len() > 1 {
+            Some(Ring::new(cfg.addrs.clone()))
+        } else {
+            None
+        };
         let rng = SmallRng::seed_from_u64(cfg.seed ^ 0x7265_706c_6179_7376); // "replaysv"
-        Client { cfg, rng }
+        Client { cfg, rng, ring }
+    }
+
+    /// The node order this client will try for `req`: the request key's
+    /// ring route (owner first) with several addresses, the single
+    /// configured address otherwise.
+    fn route_for(&self, req: &Request) -> Vec<String> {
+        match &self.ring {
+            Some(ring) => ring
+                .route(req.key())
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            None => self.cfg.addrs.clone(),
+        }
     }
 
     /// Submits one request, retrying retryable failures with seeded
-    /// exponential backoff, and returns the server's Ok response.
+    /// exponential backoff — rotating through the key's ring route on
+    /// failure, following at most bounded `NotOwner` redirects — and
+    /// returns the server's Ok response.
     pub fn submit(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let payload = req.encode();
+        let route = self.route_for(req);
+        let multi = route.len() > 1;
+        let mut cursor = 0usize;
+        let mut redirect: Option<String> = None;
         let mut last_failure = String::new();
         for attempt in 0..=self.cfg.retries {
-            match self.try_once(&payload) {
+            // A redirect target is dialed with `relayed` set; so is any
+            // node after a rotation (it may not be the owner, and must
+            // serve rather than bounce us onward). The first dial of the
+            // ring owner goes un-relayed so a server with a *better*
+            // member list can still redirect us once.
+            let (target, relayed) = match redirect.take() {
+                Some(owner) => (owner, true),
+                None => (route[cursor % route.len()].clone(), multi && cursor > 0),
+            };
+            let mut wire = req.clone();
+            wire.relayed = relayed;
+            match self.try_once(&target, &wire.encode(), relayed) {
                 Attempt::Done(resp) => return Ok(resp),
                 Attempt::Fatal(e) => return Err(e),
-                Attempt::Retry { why, floor_ms } => {
+                Attempt::Redirect { owner, why } => {
                     last_failure = why;
+                    redirect = Some(owner);
+                }
+                Attempt::Retry {
+                    why,
+                    floor_ms,
+                    drain,
+                } => {
+                    last_failure = why;
+                    cursor += 1; // failover: next node on the ring route
+                                 // A draining server's hint is "elsewhere, now"; with
+                                 // nowhere else to rotate to, wait it out instead.
+                    let floor = if drain && !multi {
+                        floor_ms.max(DRAIN_FLOOR_MS)
+                    } else {
+                        floor_ms
+                    };
                     if attempt < self.cfg.retries {
-                        std::thread::sleep(self.backoff_delay(attempt, floor_ms));
+                        std::thread::sleep(self.backoff_delay(attempt, floor));
                     }
                 }
             }
@@ -139,17 +253,18 @@ impl Client {
         })
     }
 
-    /// One wire round trip.
-    fn try_once(&mut self, payload: &[u8]) -> Attempt {
-        let mut conn = match TcpStream::connect(&self.cfg.addr) {
+    /// One wire round trip against `target`.
+    fn try_once(&mut self, target: &str, payload: &[u8], sent_relayed: bool) -> Attempt {
+        let mut conn = match TcpStream::connect(target) {
             Ok(c) => c,
             Err(e) if connect_is_retryable(&e) => {
                 return Attempt::Retry {
-                    why: format!("connect: {e}"),
+                    why: format!("connect {target}: {e}"),
                     floor_ms: 0,
+                    drain: false,
                 };
             }
-            Err(e) => return Attempt::Fatal(ClientError::Io(format!("connect: {e}"))),
+            Err(e) => return Attempt::Fatal(ClientError::Io(format!("connect {target}: {e}"))),
         };
         let _ = conn.set_read_timeout(Some(self.cfg.io_timeout));
         let _ = conn.set_write_timeout(Some(self.cfg.io_timeout));
@@ -158,6 +273,7 @@ impl Client {
             return Attempt::Retry {
                 why: format!("send: {e}"),
                 floor_ms: 0,
+                drain: false,
             };
         }
         let frame = match read_frame(&mut conn) {
@@ -168,6 +284,7 @@ impl Client {
                 return Attempt::Retry {
                     why: format!("recv: {e}"),
                     floor_ms: 0,
+                    drain: false,
                 }
             }
         };
@@ -177,10 +294,26 @@ impl Client {
         };
         match resp.status {
             Status::Ok => Attempt::Done(resp),
+            Status::NotOwner => match resp.owner_addr() {
+                // A server must never redirect a relayed request; if one
+                // does anyway (mixed versions, misconfiguration), treat
+                // it as congestion — rotate with backoff — rather than
+                // following redirects in a circle.
+                Some(owner) if !sent_relayed => Attempt::Redirect {
+                    owner: owner.to_string(),
+                    why: format!("redirected to {owner}"),
+                },
+                _ => Attempt::Retry {
+                    why: "unfollowable NotOwner redirect".to_string(),
+                    floor_ms: DRAIN_FLOOR_MS,
+                    drain: false,
+                },
+            },
             s if s.is_retryable() => Attempt::Retry {
                 why: format!("{s}: {}", resp.message),
                 // The server's hint becomes the floor of the next delay.
                 floor_ms: resp.retry_after_ms,
+                drain: s == Status::ShuttingDown,
             },
             status => Attempt::Fatal(ClientError::Rejected {
                 status,
@@ -192,7 +325,9 @@ impl Client {
     /// The delay before retry `attempt` (0-based): exponential growth
     /// from `base_backoff`, capped at `max_backoff`, with multiplicative
     /// jitter in `[0.5, 1.0]` drawn from the seeded stream. `floor_ms`
-    /// (a server hint) lower-bounds the result.
+    /// (a server hint) lower-bounds the result, and the whole thing is
+    /// clamped to at least [`MIN_BACKOFF_MS`] — a zero-length delay is a
+    /// busy loop, never an acceptable schedule.
     fn backoff_delay(&mut self, attempt: u32, floor_ms: u64) -> Duration {
         let exp = self
             .cfg
@@ -203,7 +338,11 @@ impl Client {
         // jitter in [nanos/2, nanos]: full jitter keeps retrying clients
         // from re-synchronizing into waves.
         let jittered = nanos / 2 + self.rng.next_u64() % (nanos / 2 + 1);
-        Duration::from_nanos(jittered.max(floor_ms.saturating_mul(1_000_000)))
+        Duration::from_nanos(
+            jittered
+                .max(floor_ms.saturating_mul(1_000_000))
+                .max(MIN_BACKOFF_MS * 1_000_000),
+        )
     }
 }
 
@@ -266,5 +405,76 @@ mod tests {
         assert!(d <= cfg.max_backoff);
         let floored = c.backoff_delay(0, 5_000);
         assert!(floored >= Duration::from_secs(5));
+    }
+
+    #[test]
+    fn zero_base_backoff_never_yields_a_zero_delay() {
+        // Regression: with base_backoff zero, `nanos/2 + rng % (nanos/2
+        // + 1)` collapsed to 0 and submit() busy-looped reconnecting.
+        let mut c = Client::new(ClientConfig {
+            base_backoff: Duration::ZERO,
+            ..ClientConfig::default()
+        });
+        for attempt in 0..8 {
+            let d = c.backoff_delay(attempt, 0);
+            assert!(
+                d >= Duration::from_millis(MIN_BACKOFF_MS),
+                "attempt {attempt}: {d:?} is a busy loop"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_floor_constant_is_nonzero() {
+        // The ShuttingDown hint is retry_after 0; DRAIN_FLOOR_MS is what
+        // keeps a single-address client from hammering a draining server.
+        // (The end-to-end behavior is pinned in tests/cluster.rs.)
+        const { assert!(DRAIN_FLOOR_MS >= 1) };
+        let mut c = Client::new(ClientConfig::default());
+        let d = c.backoff_delay(0, DRAIN_FLOOR_MS);
+        assert!(d >= Duration::from_millis(DRAIN_FLOOR_MS));
+    }
+
+    #[test]
+    fn multi_address_client_builds_the_server_ring() {
+        let addrs = vec![
+            "10.0.0.1:1".to_string(),
+            "10.0.0.2:1".to_string(),
+            "10.0.0.3:1".to_string(),
+        ];
+        let c = Client::new(ClientConfig {
+            addrs: addrs.clone(),
+            ..ClientConfig::default()
+        });
+        let ring = Ring::new(addrs);
+        let req = Request {
+            source: crate::proto::Source::Workload("gzip".into()),
+            scale: 1000,
+            timings: false,
+            deadline_ms: 0,
+            relayed: false,
+        };
+        let route = c.route_for(&req);
+        let expect: Vec<String> = ring
+            .route(req.key())
+            .into_iter()
+            .map(String::from)
+            .collect();
+        assert_eq!(route, expect, "client route == server ring route");
+        assert_eq!(
+            route[0],
+            ring.owner(req.key()).unwrap(),
+            "owner dialed first"
+        );
+    }
+
+    #[test]
+    fn empty_address_list_falls_back_to_default() {
+        let c = Client::new(ClientConfig {
+            addrs: Vec::new(),
+            ..ClientConfig::default()
+        });
+        assert_eq!(c.cfg.addrs, vec![DEFAULT_ADDR.to_string()]);
+        assert!(c.ring.is_none());
     }
 }

@@ -44,6 +44,12 @@
 //! - **Observability** — queue depths, batch sizes, shed/deadline/retry
 //!   counts, and per-request latency land in a [`replay_obs::Profile`]
 //!   returned from [`Server::run`].
+//! - **Cluster mode** — `--peers` shards the request key space over a
+//!   deterministic consistent-hash ring ([`ring`]); non-owners redirect
+//!   (or proxy) to the owner, nodes replicate warm RPAS artifacts
+//!   peer-to-peer (pull-on-miss plus gossip-on-write, [`cluster`]), and
+//!   the multi-address client fails over along the same ring without
+//!   ever hot-looping.
 //!
 //! The wire format ([`proto`]) reuses `replay-store`'s little-endian
 //! codec and FNV-1a [`replay_store::Digest64`] for request keys and
@@ -54,13 +60,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod conn;
 pub mod poll;
 pub mod proto;
 pub mod queue;
+pub mod ring;
 pub mod server;
 pub mod signal;
 
-pub use client::{Client, ClientConfig, ClientError, DEFAULT_ADDR};
+pub use client::{Client, ClientConfig, ClientError, DEFAULT_ADDR, DRAIN_FLOOR_MS, MIN_BACKOFF_MS};
+pub use cluster::{ClusterConfig, ClusterState};
 pub use proto::{Request, Response, Source, Status};
+pub use ring::Ring;
 pub use server::{ServeStats, Server, ServerConfig};

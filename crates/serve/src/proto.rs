@@ -18,6 +18,15 @@
 //! server also uses as a warm-start cache key). The response carries a
 //! typed [`Status`] — overload and shutdown are *data*, not dropped
 //! connections — plus the exact `replay report --json` bytes on success.
+//!
+//! Cluster mode adds two peer-to-peer message pairs on the same framing:
+//! [`PeerFetch`] → [`PeerArtifact`] (pull one warm RPAS container from a
+//! peer's `.replay-cache`) and [`PeerPush`] → plain [`Response`] ack
+//! (gossip a freshly written container to a small fanout of peers), plus
+//! the [`Status::NotOwner`] redirect and the [`Request::relayed`] flag
+//! that together make redirect loops impossible: a server only ever
+//! answers `NotOwner` to a *non-relayed* request, and a failover client
+//! only ever re-targets a non-owner with `relayed` set.
 
 use replay_store::{digest_bytes, Digest64, Reader, WireError, Writer};
 use std::io::{self, Read, Write};
@@ -26,7 +35,14 @@ use std::io::{self, Read, Write};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"RSV1");
 
 /// Protocol version. Bump on any incompatible payload change.
-pub const VERSION: u16 = 1;
+/// v2: requests carry the cluster `relayed` flag; peer artifact-exchange
+/// messages and the `NotOwner` status exist.
+pub const VERSION: u16 = 2;
+
+/// Hard ceiling on an artifact class name traveling in a peer message.
+/// Real class names ("trace", "frames") are a few bytes; anything longer
+/// is hostile input and is rejected before allocation.
+pub const MAX_CLASS_LEN: usize = 64;
 
 /// Hard ceiling on one frame's payload, request or response (64 MiB).
 /// A length prefix above this is rejected before any allocation.
@@ -87,6 +103,13 @@ pub struct Request {
     /// A request older than its deadline when dispatch begins is answered
     /// with [`Status::DeadlineExceeded`] instead of being simulated.
     pub deadline_ms: u64,
+    /// Cluster routing flag: set when the sender has already routed this
+    /// request (a client that rotated off the ring owner, or a proxying
+    /// peer). A server must serve a relayed request locally — never
+    /// answer [`Status::NotOwner`] — which is what bounds every request
+    /// to at most one redirect and makes redirect loops impossible.
+    /// Excluded from [`Request::key`]: routing does not change identity.
+    pub relayed: bool,
 }
 
 impl Request {
@@ -135,12 +158,17 @@ impl Request {
         w.put_u64(self.scale);
         w.put_u8(self.timings as u8);
         w.put_u64(self.deadline_ms);
+        w.put_u8(self.relayed as u8);
         seal(w)
     }
 
     /// Decodes and validates a request payload.
     pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
-        let mut r = open(payload, MSG_REQUEST)?;
+        Self::decode_fields(open(payload, MSG_REQUEST)?)
+    }
+
+    /// Decodes the fields after the header (shared with [`Message`]).
+    fn decode_fields(mut r: Reader<'_>) -> Result<Request, WireError> {
         let source = match r.get_u8("source tag")? {
             0 => Source::Workload(get_str(&mut r, "workload name")?),
             1 => {
@@ -165,12 +193,14 @@ impl Request {
         let scale = r.get_u64("scale")?;
         let timings = r.get_u8("timings")? != 0;
         let deadline_ms = r.get_u64("deadline")?;
+        let relayed = r.get_u8("relayed")? != 0;
         r.finish()?;
         Ok(Request {
             source,
             scale,
             timings,
             deadline_ms,
+            relayed,
         })
     }
 }
@@ -192,10 +222,18 @@ pub enum Status {
     ShuttingDown,
     /// The server failed internally; the message says how.
     Internal,
+    /// Cluster redirect: this node does not own the request's ring slot.
+    /// The owner's address travels in [`Response::message`]; the client
+    /// should resend there (with [`Request::relayed`] set, so the owner —
+    /// or any fallback node — serves it rather than redirecting again).
+    /// Not retryable in the backoff sense: the redirect is immediate.
+    NotOwner,
 }
 
 impl Status {
     /// Whether a client should retry (with backoff) on this status.
+    /// `NotOwner` is excluded: it is an immediate redirect, not a
+    /// transient failure to wait out.
     pub fn is_retryable(self) -> bool {
         matches!(self, Status::Overloaded | Status::ShuttingDown)
     }
@@ -208,6 +246,7 @@ impl Status {
             Status::DeadlineExceeded => 3,
             Status::ShuttingDown => 4,
             Status::Internal => 5,
+            Status::NotOwner => 6,
         }
     }
 
@@ -219,6 +258,7 @@ impl Status {
             3 => Status::DeadlineExceeded,
             4 => Status::ShuttingDown,
             5 => Status::Internal,
+            6 => Status::NotOwner,
             t => {
                 return Err(WireError::BadTag {
                     what: "status",
@@ -238,6 +278,7 @@ impl std::fmt::Display for Status {
             Status::DeadlineExceeded => "deadline exceeded",
             Status::ShuttingDown => "shutting down",
             Status::Internal => "internal error",
+            Status::NotOwner => "not owner",
         })
     }
 }
@@ -283,6 +324,20 @@ impl Response {
         self
     }
 
+    /// A cluster redirect naming the ring owner's address.
+    pub fn not_owner(owner: impl Into<String>) -> Response {
+        Response::reject(Status::NotOwner, owner)
+    }
+
+    /// The owner address carried by a [`Status::NotOwner`] redirect.
+    pub fn owner_addr(&self) -> Option<&str> {
+        if self.status == Status::NotOwner && !self.message.is_empty() {
+            Some(&self.message)
+        } else {
+            None
+        }
+    }
+
     /// Encodes the response payload (checksummed; framing is separate).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
@@ -300,7 +355,11 @@ impl Response {
 
     /// Decodes and validates a response payload.
     pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
-        let mut r = open(payload, MSG_RESPONSE)?;
+        Self::decode_fields(open(payload, MSG_RESPONSE)?)
+    }
+
+    /// Decodes the fields after the header (shared with [`Message`]).
+    fn decode_fields(mut r: Reader<'_>) -> Result<Response, WireError> {
         let status = Status::from_u8(r.get_u8("status")?)?;
         let message = get_str(&mut r, "message")?;
         let retry_after_ms = r.get_u64("retry hint")?;
@@ -323,8 +382,206 @@ impl Response {
     }
 }
 
+/// A peer asking another node for one warm artifact from its store:
+/// "do you hold `{class}-{key:016x}.rpa`?" The reply is a
+/// [`PeerArtifact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerFetch {
+    /// Artifact class name ("trace", "frames", …).
+    pub class: String,
+    /// Artifact content key (the store's file-name key).
+    pub key: u64,
+}
+
+impl PeerFetch {
+    /// Encodes the fetch payload (checksummed; framing is separate).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = header(MSG_PEER_FETCH);
+        put_str(&mut w, &self.class);
+        w.put_u64(self.key);
+        seal(w)
+    }
+
+    /// Decodes and validates a fetch payload.
+    pub fn decode(payload: &[u8]) -> Result<PeerFetch, WireError> {
+        Self::decode_fields(open(payload, MSG_PEER_FETCH)?)
+    }
+
+    fn decode_fields(mut r: Reader<'_>) -> Result<PeerFetch, WireError> {
+        let class = get_class(&mut r)?;
+        let key = r.get_u64("artifact key")?;
+        r.finish()?;
+        Ok(PeerFetch { class, key })
+    }
+}
+
+/// The answer to a [`PeerFetch`]: either the complete RPAS container
+/// bytes (exactly as stored on disk, so the receiver re-validates the
+/// container's own magic/version/digest/checksum before trusting a
+/// byte), or a miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerArtifact {
+    /// Echo of the requested class.
+    pub class: String,
+    /// Echo of the requested key.
+    pub key: u64,
+    /// The raw `.rpa` container bytes; empty on a miss.
+    pub container: Vec<u8>,
+}
+
+impl PeerArtifact {
+    /// True when the peer held the artifact.
+    pub fn found(&self) -> bool {
+        !self.container.is_empty()
+    }
+
+    /// Encodes the artifact payload (checksummed; framing is separate).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = header(MSG_PEER_ARTIFACT);
+        put_str(&mut w, &self.class);
+        w.put_u64(self.key);
+        w.put_u32(self.container.len() as u32);
+        w.put_bytes(&self.container);
+        seal(w)
+    }
+
+    /// Decodes and validates an artifact payload.
+    pub fn decode(payload: &[u8]) -> Result<PeerArtifact, WireError> {
+        Self::decode_fields(open(payload, MSG_PEER_ARTIFACT)?)
+    }
+
+    fn decode_fields(mut r: Reader<'_>) -> Result<PeerArtifact, WireError> {
+        let class = get_class(&mut r)?;
+        let key = r.get_u64("artifact key")?;
+        let n = r.get_len("container", 1)?;
+        let container = r.get_bytes(n, "container")?.to_vec();
+        r.finish()?;
+        Ok(PeerArtifact {
+            class,
+            key,
+            container,
+        })
+    }
+}
+
+/// Write-time gossip: a node that just persisted a fresh artifact pushes
+/// the container to a small fanout of ring successors so a later
+/// failover lands warm. The receiver answers with a plain [`Response`]
+/// ack and re-validates the container before admitting it to its store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerPush {
+    /// Artifact class name.
+    pub class: String,
+    /// Artifact content key.
+    pub key: u64,
+    /// The raw `.rpa` container bytes (never empty).
+    pub container: Vec<u8>,
+}
+
+impl PeerPush {
+    /// Encodes the push payload (checksummed; framing is separate).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = header(MSG_PEER_PUSH);
+        put_str(&mut w, &self.class);
+        w.put_u64(self.key);
+        w.put_u32(self.container.len() as u32);
+        w.put_bytes(&self.container);
+        seal(w)
+    }
+
+    /// Decodes and validates a push payload.
+    pub fn decode(payload: &[u8]) -> Result<PeerPush, WireError> {
+        Self::decode_fields(open(payload, MSG_PEER_PUSH)?)
+    }
+
+    fn decode_fields(mut r: Reader<'_>) -> Result<PeerPush, WireError> {
+        let class = get_class(&mut r)?;
+        let key = r.get_u64("artifact key")?;
+        let n = r.get_len("container", 1)?;
+        if n == 0 {
+            return Err(WireError::BadLength {
+                what: "container",
+                len: 0,
+            });
+        }
+        let container = r.get_bytes(n, "container")?.to_vec();
+        r.finish()?;
+        Ok(PeerPush {
+            class,
+            key,
+            container,
+        })
+    }
+}
+
+/// Any inbound payload, dispatched by the kind byte in the header. This
+/// is what a server front decodes: client requests and peer traffic
+/// arrive on the same listener.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A client simulation request.
+    Request(Request),
+    /// A response (client-side decode; servers don't receive these).
+    Response(Response),
+    /// A peer asking for an artifact.
+    PeerFetch(PeerFetch),
+    /// A peer answering with an artifact (or a miss).
+    PeerArtifact(PeerArtifact),
+    /// A peer gossiping a fresh artifact.
+    PeerPush(PeerPush),
+}
+
+impl Message {
+    /// Decodes any valid payload, dispatching on the header's kind byte.
+    pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+        let (kind, r) = open_any(payload)?;
+        Ok(match kind {
+            MSG_REQUEST => Message::Request(Request::decode_fields(r)?),
+            MSG_RESPONSE => Message::Response(Response::decode_fields(r)?),
+            MSG_PEER_FETCH => Message::PeerFetch(PeerFetch::decode_fields(r)?),
+            MSG_PEER_ARTIFACT => Message::PeerArtifact(PeerArtifact::decode_fields(r)?),
+            MSG_PEER_PUSH => Message::PeerPush(PeerPush::decode_fields(r)?),
+            t => {
+                return Err(WireError::BadTag {
+                    what: "message kind",
+                    value: t as u64,
+                })
+            }
+        })
+    }
+}
+
 const MSG_REQUEST: u8 = 1;
 const MSG_RESPONSE: u8 = 2;
+const MSG_PEER_FETCH: u8 = 3;
+const MSG_PEER_ARTIFACT: u8 = 4;
+const MSG_PEER_PUSH: u8 = 5;
+
+/// Starts a payload with the shared magic/version/kind header.
+fn header(kind: u8) -> Writer {
+    let mut w = Writer::new();
+    w.put_u32(MAGIC);
+    w.put_u16(VERSION);
+    w.put_u8(kind);
+    w
+}
+
+/// Reads an artifact class name, rejecting hostile lengths before any
+/// allocation the length would size.
+fn get_class(r: &mut Reader) -> Result<String, WireError> {
+    let n = r.get_len("artifact class", 1)?;
+    if n == 0 || n > MAX_CLASS_LEN {
+        return Err(WireError::BadLength {
+            what: "artifact class",
+            len: n as u64,
+        });
+    }
+    let bytes = r.get_bytes(n, "artifact class")?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadTag {
+        what: "artifact class",
+        value: u64::MAX,
+    })
+}
 
 fn put_str(w: &mut Writer, s: &str) {
     w.put_u32(s.len() as u32);
@@ -348,10 +605,10 @@ fn seal(w: Writer) -> Vec<u8> {
     body
 }
 
-/// Verifies magic, version, kind, and the trailing checksum; returns a
-/// reader positioned after the header, covering everything before the
-/// checksum.
-fn open<'a>(payload: &'a [u8], expect_kind: u8) -> Result<Reader<'a>, WireError> {
+/// Verifies magic, version, and the trailing checksum; returns the kind
+/// byte and a reader positioned after the header, covering everything
+/// before the checksum.
+fn open_any(payload: &[u8]) -> Result<(u8, Reader<'_>), WireError> {
     if payload.len() < 8 {
         return Err(WireError::UnexpectedEof { what: "payload" });
     }
@@ -380,6 +637,12 @@ fn open<'a>(payload: &'a [u8], expect_kind: u8) -> Result<Reader<'a>, WireError>
         });
     }
     let kind = r.get_u8("message kind")?;
+    Ok((kind, r))
+}
+
+/// [`open_any`] plus a kind check, for single-kind decoders.
+fn open<'a>(payload: &'a [u8], expect_kind: u8) -> Result<Reader<'a>, WireError> {
+    let (kind, r) = open_any(payload)?;
     if kind != expect_kind {
         return Err(WireError::BadTag {
             what: "message kind",
@@ -400,6 +663,7 @@ mod tests {
             scale: 30_000,
             timings: false,
             deadline_ms: 0,
+            relayed: false,
         };
         assert_eq!(Request::decode(&named.encode()).unwrap(), named);
         let inline = Request {
@@ -407,6 +671,7 @@ mod tests {
             scale: 100,
             timings: true,
             deadline_ms: 2_500,
+            relayed: true,
         };
         assert_eq!(Request::decode(&inline.encode()).unwrap(), inline);
     }
@@ -431,6 +696,7 @@ mod tests {
             scale: 1,
             timings: false,
             deadline_ms: 0,
+            relayed: false,
         }
         .encode();
         // Flip one bit anywhere: the payload checksum catches it.
@@ -450,6 +716,7 @@ mod tests {
             scale: 10,
             timings: false,
             deadline_ms: 0,
+            relayed: false,
         };
         let mut bytes = req.encode();
         // Corrupt a trace byte AND fix up the outer checksum, leaving the
@@ -474,16 +741,223 @@ mod tests {
             scale: 1000,
             timings: false,
             deadline_ms: 0,
+            relayed: false,
         };
         let mut other = base.clone();
         assert_eq!(base.key(), other.key());
         other.deadline_ms = 99; // deadlines do not affect identity
+        assert_eq!(base.key(), other.key());
+        other.relayed = true; // routing does not affect identity
         assert_eq!(base.key(), other.key());
         other.scale = 2000;
         assert_ne!(base.key(), other.key());
         let mut named = base.clone();
         named.source = Source::Workload("eon".into());
         assert_ne!(base.key(), named.key());
+    }
+
+    #[test]
+    fn peer_messages_round_trip() {
+        let fetch = PeerFetch {
+            class: "trace".into(),
+            key: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        assert_eq!(PeerFetch::decode(&fetch.encode()).unwrap(), fetch);
+
+        let hit = PeerArtifact {
+            class: "trace".into(),
+            key: 7,
+            container: vec![0x52, 0x50, 0x41, 0x53, 1, 2, 3],
+        };
+        assert!(hit.found());
+        assert_eq!(PeerArtifact::decode(&hit.encode()).unwrap(), hit);
+        let miss = PeerArtifact {
+            class: "frames".into(),
+            key: 7,
+            container: Vec::new(),
+        };
+        assert!(!miss.found());
+        assert_eq!(PeerArtifact::decode(&miss.encode()).unwrap(), miss);
+
+        let push = PeerPush {
+            class: "trace".into(),
+            key: 9,
+            container: vec![1; 128],
+        };
+        assert_eq!(PeerPush::decode(&push.encode()).unwrap(), push);
+    }
+
+    #[test]
+    fn message_dispatches_every_kind() {
+        let req = Request {
+            source: Source::Workload("mcf".into()),
+            scale: 5,
+            timings: false,
+            deadline_ms: 0,
+            relayed: true,
+        };
+        assert_eq!(
+            Message::decode(&req.encode()).unwrap(),
+            Message::Request(req)
+        );
+        let resp = Response::not_owner("10.0.0.3:21075");
+        let back = Message::decode(&resp.encode()).unwrap();
+        match &back {
+            Message::Response(r) => {
+                assert_eq!(r.status, Status::NotOwner);
+                assert_eq!(r.owner_addr(), Some("10.0.0.3:21075"));
+                assert!(
+                    !r.status.is_retryable(),
+                    "NotOwner is a redirect, not a retry"
+                );
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let fetch = PeerFetch {
+            class: "trace".into(),
+            key: 1,
+        };
+        assert_eq!(
+            Message::decode(&fetch.encode()).unwrap(),
+            Message::PeerFetch(fetch)
+        );
+        let art = PeerArtifact {
+            class: "trace".into(),
+            key: 1,
+            container: vec![9; 16],
+        };
+        assert_eq!(
+            Message::decode(&art.encode()).unwrap(),
+            Message::PeerArtifact(art)
+        );
+        let push = PeerPush {
+            class: "trace".into(),
+            key: 1,
+            container: vec![9; 16],
+        };
+        assert_eq!(
+            Message::decode(&push.encode()).unwrap(),
+            Message::PeerPush(push)
+        );
+    }
+
+    #[test]
+    fn peer_message_truncation_is_an_error_not_a_panic() {
+        let encoded: [Vec<u8>; 3] = [
+            PeerFetch {
+                class: "trace".into(),
+                key: 3,
+            }
+            .encode(),
+            PeerArtifact {
+                class: "trace".into(),
+                key: 3,
+                container: vec![5; 64],
+            }
+            .encode(),
+            PeerPush {
+                class: "trace".into(),
+                key: 3,
+                container: vec![5; 64],
+            }
+            .encode(),
+        ];
+        for good in &encoded {
+            for cut in 0..good.len() {
+                assert!(Message::decode(&good[..cut]).is_err(), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn peer_message_hostile_lengths_rejected() {
+        // A class-name length above MAX_CLASS_LEN is rejected even when
+        // the checksum is valid (a hostile peer can seal anything).
+        let mut w = Writer::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(MSG_PEER_FETCH);
+        w.put_u32((MAX_CLASS_LEN + 1) as u32);
+        w.put_bytes(&[b'x'; MAX_CLASS_LEN + 1]);
+        w.put_u64(3);
+        let bytes = seal(w);
+        assert!(matches!(
+            PeerFetch::decode(&bytes),
+            Err(WireError::BadLength {
+                what: "artifact class",
+                ..
+            })
+        ));
+
+        // An empty class is no better.
+        let mut w = Writer::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(MSG_PEER_FETCH);
+        w.put_u32(0);
+        w.put_u64(3);
+        let bytes = seal(w);
+        assert!(PeerFetch::decode(&bytes).is_err());
+
+        // A container length far past the buffer is rejected before any
+        // allocation it would size.
+        let mut w = Writer::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(MSG_PEER_ARTIFACT);
+        put_str(&mut w, "trace");
+        w.put_u64(3);
+        w.put_u32(u32::MAX);
+        let bytes = seal(w);
+        assert!(matches!(
+            PeerArtifact::decode(&bytes),
+            Err(WireError::BadLength {
+                what: "container",
+                ..
+            })
+        ));
+
+        // An empty push container is hostile: pushes always carry bytes.
+        let mut w = Writer::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(MSG_PEER_PUSH);
+        put_str(&mut w, "trace");
+        w.put_u64(3);
+        w.put_u32(0);
+        let bytes = seal(w);
+        assert!(matches!(
+            PeerPush::decode(&bytes),
+            Err(WireError::BadLength {
+                what: "container",
+                len: 0,
+            })
+        ));
+
+        // Non-UTF-8 class bytes are rejected.
+        let mut w = Writer::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(MSG_PEER_FETCH);
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        w.put_u64(3);
+        let bytes = seal(w);
+        assert!(PeerFetch::decode(&bytes).is_err());
+
+        // An unknown kind byte under a valid checksum is a BadTag.
+        let mut w = Writer::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u8(200);
+        let bytes = seal(w);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::BadTag {
+                what: "message kind",
+                value: 200,
+            })
+        ));
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The consistent-hash ring that turns N serve instances into one
+//! sharded cache.
+//!
+//! Every request carries a [`Digest64`] content key (see
+//! [`crate::proto::Request::key`]); the ring maps that key space onto the
+//! cluster's node addresses so that **every node — and every client —
+//! computes the same owner for the same key from nothing but the member
+//! list**. There is no coordinator and no membership protocol: the ring
+//! is a pure function of the sorted, deduplicated address list, which is
+//! exactly what lets a server and a client that were given the same
+//! `--peers` list agree without ever exchanging ring state.
+//!
+//! Each node is hashed onto the ring at [`VNODES`] pseudo-random points
+//! (virtual nodes); a key is owned by the node whose point is the first
+//! at or clockwise-after the key. Virtual nodes are what makes the two
+//! classic consistent-hashing properties hold in practice, and the unit
+//! tests pin both:
+//!
+//! * **balance** — with `V` points per node the expected share of each of
+//!   `N` nodes is `1/N`, with relative spread shrinking like
+//!   `1/sqrt(V)`;
+//! * **minimal disruption** — removing one node only reassigns the keys
+//!   that node owned (≈ `K/N` of `K` keys), because the other nodes'
+//!   points do not move.
+//!
+//! [`Ring::route`] extends ownership into a deterministic failover
+//! order: the distinct nodes in ring order starting from the key's owner.
+//! A client that walks this order on connect failure lands exactly on the
+//! node that would own the key if the dead owner were removed from the
+//! ring — failover and remapping agree by construction.
+//!
+//! [`Digest64`]: replay_store::Digest64
+
+use replay_store::Digest64;
+
+/// Virtual nodes (ring points) per member address.
+///
+/// 64 keeps the per-node load spread within a few percent at single-digit
+/// cluster sizes while keeping ring construction and lookup trivially
+/// cheap (a sort of `64 * N` points once, one binary search per lookup).
+pub const VNODES: u32 = 64;
+
+/// A deterministic consistent-hash ring over node addresses.
+///
+/// Construction sorts and deduplicates the member list, so any two
+/// parties holding the same *set* of addresses — in any order, with
+/// duplicates — build bit-identical rings.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted, deduplicated member addresses.
+    nodes: Vec<String>,
+    /// `(point, node index)` sorted by point (ties broken by index, which
+    /// is deterministic because `nodes` is sorted).
+    points: Vec<(u64, u32)>,
+}
+
+/// Finalizing mix (the SplitMix64 output permutation). FNV-1a is the
+/// repo's content digest, but its avalanche is too weak for ring
+/// placement: short, similar inputs (node addresses differing in one
+/// digit, replica counters with three zero bytes) leave the high bits —
+/// the ones a sorted-ring binary search keys on — badly clustered, and
+/// one node ends up owning most of the key space. A bijective finalizer
+/// spreads both the points and the looked-up keys uniformly without
+/// changing what either party has to agree on.
+fn spread(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The ring position of one virtual node.
+fn point(node: &str, replica: u32) -> u64 {
+    let mut d = Digest64::new();
+    d.write_str("replay-serve/ring");
+    d.write_str(node);
+    d.write_u32(replica);
+    spread(d.finish())
+}
+
+impl Ring {
+    /// Builds the ring over `members` (order and duplicates are
+    /// irrelevant: the list is sorted and deduplicated first).
+    ///
+    /// An empty member list yields an empty ring; [`Ring::owner`] and
+    /// [`Ring::route`] on an empty ring return `None` / nothing rather
+    /// than panicking, so a misconfigured caller degrades to "no owner"
+    /// instead of crashing the serve path.
+    pub fn new<I, S>(members: I) -> Ring
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut nodes: Vec<String> = members.into_iter().map(Into::into).collect();
+        nodes.sort();
+        nodes.dedup();
+        let mut points: Vec<(u64, u32)> = Vec::with_capacity(nodes.len() * VNODES as usize);
+        for (i, node) in nodes.iter().enumerate() {
+            for replica in 0..VNODES {
+                points.push((point(node, replica), i as u32));
+            }
+        }
+        points.sort();
+        Ring { nodes, points }
+    }
+
+    /// The sorted, deduplicated member addresses.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Index into `points` of the first point at or clockwise-after
+    /// `key`, wrapping at the top of the key space.
+    fn first_point_at_or_after(&self, key: u64) -> usize {
+        // Keys are FNV-1a content digests; spread them through the same
+        // finalizer as the points so FNV's clustered high bits cannot
+        // pile similar requests onto one arc of the ring. `spread` is a
+        // bijection, so distinct keys stay distinct.
+        let key = spread(key);
+        let i = self.points.partition_point(|&(p, _)| p < key);
+        if i == self.points.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// The address that owns `key`, or `None` on an empty ring.
+    pub fn owner(&self, key: u64) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let (_, node) = self.points[self.first_point_at_or_after(key)];
+        Some(self.nodes[node as usize].as_str())
+    }
+
+    /// The deterministic failover order for `key`: every member exactly
+    /// once, starting with the owner, continuing in ring order.
+    ///
+    /// The second entry is precisely the node that would own `key` if the
+    /// first were removed from the ring (and so on down the list), so a
+    /// client that rotates through this order on failure always lands on
+    /// the node the surviving ring would elect.
+    pub fn route(&self, key: u64) -> Vec<&str> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let start = self.first_point_at_or_after(key);
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for off in 0..self.points.len() {
+            let (_, node) = self.points[(start + off) % self.points.len()];
+            if !seen[node as usize] {
+                seen[node as usize] = true;
+                out.push(self.nodes[node as usize].as_str());
+                if out.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replay_rng::SmallRng;
+
+    fn members(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:21075")).collect()
+    }
+
+    fn keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn ring_is_identical_regardless_of_member_order_and_duplicates() {
+        let a = Ring::new(members(5));
+        let mut shuffled = members(5);
+        shuffled.reverse();
+        shuffled.push(shuffled[0].clone()); // duplicate
+        let b = Ring::new(shuffled);
+        assert_eq!(a.nodes(), b.nodes());
+        for key in keys(1_000, 7) {
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+    }
+
+    #[test]
+    fn every_key_has_exactly_one_owner_who_heads_its_route() {
+        let ring = Ring::new(members(5));
+        for key in keys(5_000, 1) {
+            let owner = ring.owner(key).expect("non-empty ring owns every key");
+            let route = ring.route(key);
+            assert_eq!(route.len(), 5, "route visits every member once");
+            assert_eq!(route[0], owner, "route starts at the owner");
+            let mut sorted: Vec<&str> = route.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "route has no duplicates");
+        }
+    }
+
+    #[test]
+    fn load_is_balanced_within_a_factor_of_two() {
+        let ring = Ring::new(members(5));
+        let ks = keys(20_000, 2);
+        let mut counts = std::collections::BTreeMap::new();
+        for &k in &ks {
+            *counts
+                .entry(ring.owner(k).unwrap().to_string())
+                .or_insert(0u64) += 1;
+        }
+        let expected = ks.len() as u64 / 5;
+        for (node, count) in counts {
+            assert!(
+                count > expected / 2 && count < expected * 2,
+                "{node}: {count} keys vs expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_one_node_remaps_only_about_one_nth_of_keys() {
+        // The consistent-hashing contract: dropping one of N nodes moves
+        // only the keys that node owned — about K/N of K keys — and every
+        // key it did own moves to its route successor. A modulo-hash
+        // router would remap (N-1)/N of all keys here.
+        let n = 5;
+        let full = Ring::new(members(n));
+        let removed = &members(n)[2];
+        let reduced = Ring::new(members(n).into_iter().filter(|m| m != removed));
+        let ks = keys(20_000, 3);
+        let mut remapped = 0usize;
+        for &k in &ks {
+            let before = full.owner(k).unwrap();
+            let after = reduced.owner(k).unwrap();
+            if before == removed.as_str() {
+                remapped += 1;
+                // The orphaned key lands exactly on its failover successor.
+                assert_eq!(
+                    after,
+                    full.route(k)[1],
+                    "orphaned key must move to its route successor"
+                );
+            } else {
+                assert_eq!(before, after, "a surviving node's key must not move");
+            }
+        }
+        let expected = ks.len() / n;
+        assert!(
+            remapped <= expected * 2,
+            "remapped {remapped} of {} keys; expected ~{expected}",
+            ks.len()
+        );
+        assert!(remapped >= expected / 2, "suspiciously few remapped keys");
+    }
+
+    #[test]
+    fn empty_and_singleton_rings_degrade_gracefully() {
+        let empty = Ring::new(Vec::<String>::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.owner(42), None);
+        assert!(empty.route(42).is_empty());
+
+        let solo = Ring::new(["127.0.0.1:1".to_string()]);
+        assert_eq!(solo.len(), 1);
+        for key in keys(100, 4) {
+            assert_eq!(solo.owner(key), Some("127.0.0.1:1"));
+            assert_eq!(solo.route(key), vec!["127.0.0.1:1"]);
+        }
+    }
+}

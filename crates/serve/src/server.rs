@@ -41,15 +41,16 @@
 //! complete request are closed (they may never speak), and only then
 //! does [`Server::run`] return.
 
+use crate::cluster::{ClusterConfig, ClusterState, RequestRoute};
 use crate::conn::{Conn, ConnState, ReadStep, WriteStep};
 use crate::poll;
-use crate::proto::{read_frame, write_frame, Request, Response, Source, Status};
+use crate::proto::{read_frame, write_frame, Message, Request, Response, Source, Status};
 use crate::queue::{Bounded, Pop, PushError};
 use crate::signal;
 use replay_obs::{Obs, Profile, Registry};
 use replay_sim::experiment::run_specs;
 use replay_sim::report::{render_report, specs_for_trace};
-use replay_sim::TraceStore;
+use replay_sim::{Exchange, TraceStore};
 use replay_trace::{read_trace, workloads, Trace};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -137,6 +138,21 @@ impl ServeStats {
     /// Requests answered [`Status::Ok`].
     pub fn served(&self) -> u64 {
         self.profile.counter("serve.requests.ok")
+    }
+
+    /// Response frames that could not be written back (peer gone).
+    pub fn write_failed(&self) -> u64 {
+        self.profile.counter("serve.responses.write_failed")
+    }
+
+    /// Cluster mode: requests answered [`Status::NotOwner`].
+    pub fn redirected(&self) -> u64 {
+        self.profile.counter("serve.ring.redirected")
+    }
+
+    /// Cluster mode: warm artifacts pulled from peers on local miss.
+    pub fn peer_artifact_pulls(&self) -> u64 {
+        self.profile.counter("serve.peer.artifact_pulls")
     }
 
     /// Requests shed with [`Status::Overloaded`] (connection intake and
@@ -235,6 +251,8 @@ pub struct Server {
     listener: TcpListener,
     cfg: ServerConfig,
     stop: Arc<AtomicBool>,
+    cluster: Option<Arc<ClusterState>>,
+    trace_store: Option<Arc<TraceStore>>,
 }
 
 impl Server {
@@ -246,6 +264,8 @@ impl Server {
             listener,
             cfg,
             stop: Arc::new(AtomicBool::new(false)),
+            cluster: None,
+            trace_store: None,
         })
     }
 
@@ -258,6 +278,37 @@ impl Server {
     /// SIGTERM/SIGINT (after [`signal::install`]) works identically.
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.stop)
+    }
+
+    /// Serves from this private trace store instead of the process-wide
+    /// [`TraceStore::global`]. This is how several in-process servers
+    /// (tests, embedders) keep genuinely separate caches — the global
+    /// store would let one node's warm cache satisfy another's lookups
+    /// through shared process state, hiding exactly the replication
+    /// behavior cluster tests exist to observe. Call *before*
+    /// [`Server::configure_cluster`], which wires the exchange hooks
+    /// into whichever store the server will use.
+    pub fn with_trace_store(mut self, trace_store: Arc<TraceStore>) -> Server {
+        self.trace_store = Some(trace_store);
+        self
+    }
+
+    /// Enables cluster mode: builds the ring state and installs the peer
+    /// artifact-exchange hooks on this server's trace store. Call after
+    /// [`Server::bind`] (tests bind port 0 first, learn every node's real
+    /// address, then configure) and after [`Server::with_trace_store`]
+    /// when using a private store.
+    pub fn configure_cluster(&mut self, cfg: ClusterConfig) {
+        let state = Arc::new(ClusterState::new(cfg, self.trace_store_ref().disk()));
+        self.trace_store_ref()
+            .set_exchange(Arc::clone(&state) as Arc<dyn Exchange>);
+        self.cluster = Some(state);
+    }
+
+    fn trace_store_ref(&self) -> &TraceStore {
+        self.trace_store
+            .as_deref()
+            .unwrap_or_else(|| TraceStore::global())
     }
 
     fn stopping(&self) -> bool {
@@ -288,6 +339,8 @@ impl Server {
     #[cfg(unix)]
     fn run_event(self, poller: poll::Poller, bell: poll::Doorbell) -> ServeStats {
         let cfg = &self.cfg;
+        let trace_store = self.trace_store_ref();
+        let cluster = self.cluster.as_deref();
         let work_q: Arc<Bounded<Job>> = Arc::new(Bounded::new(cfg.work_queue));
         let completions: Arc<Bounded<Completion>> = Arc::new(Bounded::new(usize::MAX));
         let bell = Arc::new(bell);
@@ -303,15 +356,21 @@ impl Server {
                 let completions = Arc::clone(&completions);
                 let registry = &registry;
                 scope.spawn(move || {
-                    let profile = dispatcher_loop(cfg, &work_q, Some(&completions));
+                    let profile =
+                        dispatcher_loop(cfg, &work_q, Some(&completions), trace_store, cluster);
                     registry.submit(1, profile);
                 });
             }
-            let mut el = event::EventLoop::new(cfg, &self.listener, poller, bell, &work_q);
+            let mut el = event::EventLoop::new(cfg, &self.listener, poller, bell, &work_q, cluster);
             let profile = el.serve(&completions, || self.stopping());
             registry.submit(0, profile);
         });
 
+        if let Some(cl) = cluster {
+            let mut obs = Obs::collecting();
+            cl.observe_into(&mut obs);
+            registry.submit(usize::MAX, obs.into_profile());
+        }
         ServeStats {
             profile: registry.finish(),
         }
@@ -321,6 +380,8 @@ impl Server {
     /// threads parse, the dispatcher answers on the job's own stream.
     fn run_threads(self) -> ServeStats {
         let cfg = &self.cfg;
+        let trace_store = self.trace_store_ref();
+        let cluster = self.cluster.as_deref();
         let conn_q: Arc<Bounded<TcpStream>> = Arc::new(Bounded::new(cfg.conn_queue));
         let work_q: Arc<Bounded<Job>> = Arc::new(Bounded::new(cfg.work_queue));
         let registry = Registry::new();
@@ -333,7 +394,7 @@ impl Server {
                 let registry = &registry;
                 let readers_left = &readers_left;
                 scope.spawn(move || {
-                    let profile = reader_loop(cfg, &conn_q, &work_q);
+                    let profile = reader_loop(cfg, &conn_q, &work_q, cluster);
                     // The last reader out closes the work queue so the
                     // dispatcher knows no more jobs can arrive.
                     if readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -347,7 +408,7 @@ impl Server {
                 let registry = &registry;
                 let n_readers = cfg.readers.max(1);
                 scope.spawn(move || {
-                    let profile = dispatcher_loop(cfg, &work_q, None);
+                    let profile = dispatcher_loop(cfg, &work_q, None, trace_store, cluster);
                     registry.submit(1 + n_readers, profile);
                 });
             }
@@ -386,15 +447,44 @@ impl Server {
             registry.submit(0, obs.into_profile());
         });
 
+        if let Some(cl) = cluster {
+            let mut obs = Obs::collecting();
+            cl.observe_into(&mut obs);
+            registry.submit(usize::MAX, obs.into_profile());
+        }
         ServeStats {
             profile: registry.finish(),
         }
     }
 }
 
+/// Answers a peer-exchange message directly on the front (both fronts
+/// route through here): artifact fetches and pushes are cheap disk
+/// operations that must not wait behind simulation batches in the work
+/// queue. Returns the encoded reply frame.
+fn peer_message_reply(msg: &Message, cluster: Option<&ClusterState>, obs: &mut Obs) -> Vec<u8> {
+    let Some(cl) = cluster else {
+        return Response::reject(Status::BadRequest, "server is not in cluster mode").encode();
+    };
+    match msg {
+        Message::PeerFetch(f) => {
+            obs.counter("serve.peer.fetch_recv", 1);
+            cl.serve_fetch(f).encode()
+        }
+        Message::PeerPush(p) => cl.serve_push(p).encode(),
+        // Inbound Response/PeerArtifact frames make no sense server-side.
+        _ => Response::reject(Status::BadRequest, "unexpected message kind").encode(),
+    }
+}
+
 /// Parses requests off accepted connections and queues them for dispatch
 /// (thread mode only).
-fn reader_loop(cfg: &ServerConfig, conn_q: &Bounded<TcpStream>, work_q: &Bounded<Job>) -> Profile {
+fn reader_loop(
+    cfg: &ServerConfig,
+    conn_q: &Bounded<TcpStream>,
+    work_q: &Bounded<Job>,
+    cluster: Option<&ClusterState>,
+) -> Profile {
     let mut obs = Obs::collecting();
     loop {
         let mut conn = match conn_q.pop() {
@@ -403,14 +493,23 @@ fn reader_loop(cfg: &ServerConfig, conn_q: &Bounded<TcpStream>, work_q: &Bounded
             Pop::Empty => continue, // unreachable for blocking pop
         };
         let received = Instant::now();
-        let req = match read_frame(&mut conn)
+        let msg = match read_frame(&mut conn)
             .map_err(|e| e.to_string())
-            .and_then(|p| Request::decode(&p).map_err(|e| e.to_string()))
+            .and_then(|p| Message::decode(&p).map_err(|e| e.to_string()))
         {
-            Ok(req) => req,
+            Ok(msg) => msg,
             Err(e) => {
                 obs.counter("serve.requests.bad", 1);
                 respond_stream(conn, &Response::reject(Status::BadRequest, e), &mut obs);
+                continue;
+            }
+        };
+        let req = match msg {
+            Message::Request(req) => req,
+            other => {
+                if write_frame(&mut conn, &peer_message_reply(&other, cluster, &mut obs)).is_err() {
+                    obs.counter("serve.responses.write_failed", 1);
+                }
                 continue;
             }
         };
@@ -476,6 +575,8 @@ fn dispatcher_loop(
     cfg: &ServerConfig,
     work_q: &Bounded<Job>,
     completions: Option<&Bounded<Completion>>,
+    trace_store: &TraceStore,
+    cluster: Option<&ClusterState>,
 ) -> Profile {
     let mut obs = Obs::collecting();
     let mut inline_traces = InlineTraceCache::new(cfg.inline_cache_cap);
@@ -503,22 +604,34 @@ fn dispatcher_loop(
         if !cfg.batch_hold.is_zero() {
             std::thread::sleep(cfg.batch_hold);
         }
-        process_batch(cfg, batch, &mut inline_traces, completions, &mut obs);
+        process_batch(
+            cfg,
+            batch,
+            &mut inline_traces,
+            completions,
+            trace_store,
+            cluster,
+            &mut obs,
+        );
     }
     obs.into_profile()
 }
 
-/// Deadline check → trace resolution → one `run_specs` call → responses.
+/// Deadline check → ring routing → trace resolution → one `run_specs`
+/// call → responses.
+#[allow(clippy::too_many_arguments)]
 fn process_batch(
     cfg: &ServerConfig,
     batch: Vec<Job>,
     inline_traces: &mut InlineTraceCache,
     completions: Option<&Bounded<Completion>>,
+    trace_store: &TraceStore,
+    cluster: Option<&ClusterState>,
     obs: &mut Obs,
 ) {
     // Shed expired jobs first: simulating a request nobody is waiting on
     // wastes the pool.
-    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    let mut routed: Vec<Job> = Vec::with_capacity(batch.len());
     for job in batch {
         let limit = if job.req.deadline_ms > 0 {
             Duration::from_millis(job.req.deadline_ms)
@@ -533,7 +646,33 @@ fn process_batch(
             );
             finish_job(job, &resp, completions, obs);
         } else {
+            routed.push(job);
+        }
+    }
+
+    // Ring routing: redirect (or proxy) requests another node owns. A
+    // relayed request is always Local — see `ClusterState::route_request`
+    // for the anti-loop invariant. Proxy failure falls back to local
+    // simulation: the response is byte-identical from any node, so the
+    // owner being down costs the warm-cache benefit, never correctness.
+    let mut live: Vec<Job> = Vec::with_capacity(routed.len());
+    for job in routed {
+        let Some(cl) = cluster else {
             live.push(job);
+            continue;
+        };
+        match cl.route_request(&job.req) {
+            RequestRoute::Local => live.push(job),
+            RequestRoute::Redirect(owner) => {
+                finish_job(job, &Response::not_owner(owner), completions, obs);
+            }
+            RequestRoute::Proxy(owner) => match cl.proxy_request(&owner, &job.req) {
+                Some(resp) => finish_job(job, &resp, completions, obs),
+                None => {
+                    cl.count_proxy_fallback();
+                    live.push(job);
+                }
+            },
         }
     }
 
@@ -559,7 +698,7 @@ fn process_batch(
         let scale = req.scale as usize;
         let resolved: Result<Arc<Trace>, String> = match &req.source {
             Source::Workload(name) => match workloads::by_name(name) {
-                Some(w) => Ok(TraceStore::global().segment(&w, 0, scale)),
+                Some(w) => Ok(trace_store.segment(&w, 0, scale)),
                 None => Err(format!("unknown workload {name:?}")),
             },
             Source::TraceBytes(bytes) => {
@@ -644,6 +783,7 @@ mod event {
         poller: Poller,
         bell: Arc<Doorbell>,
         work_q: &'a Bounded<Job>,
+        cluster: Option<&'a ClusterState>,
         conns: HashMap<u64, Conn<TcpStream>>,
         next_token: u64,
         /// Jobs handed to the dispatcher whose completions have not come
@@ -660,6 +800,7 @@ mod event {
             poller: Poller,
             bell: Arc<Doorbell>,
             work_q: &'a Bounded<Job>,
+            cluster: Option<&'a ClusterState>,
         ) -> EventLoop<'a> {
             EventLoop {
                 cfg,
@@ -667,6 +808,7 @@ mod event {
                 poller,
                 bell,
                 work_q,
+                cluster,
                 conns: HashMap::new(),
                 next_token: TOK_FIRST_CONN,
                 in_flight: 0,
@@ -836,11 +978,13 @@ mod event {
             self.conns.get(&token).map(|c| c.state())
         }
 
-        /// A complete request frame arrived: decode, then dispatch or
-        /// shed — all without leaving this thread.
+        /// A complete frame arrived: decode, then dispatch or shed — all
+        /// without leaving this thread. Peer artifact messages (cluster
+        /// mode) are answered right here: they are cheap disk reads and
+        /// must not wait behind simulation batches in the work queue.
         fn frame_complete(&mut self, token: u64, payload: &[u8], now: Instant) {
-            match Request::decode(payload) {
-                Ok(req) => {
+            match Message::decode(payload) {
+                Ok(Message::Request(req)) => {
                     self.obs.counter("serve.requests.received", 1);
                     let job = Job {
                         req,
@@ -869,6 +1013,10 @@ mod event {
                             self.queue_and_write(token, &resp.encode(), now);
                         }
                     }
+                }
+                Ok(other) => {
+                    let reply = peer_message_reply(&other, self.cluster, &mut self.obs);
+                    self.queue_and_write(token, &reply, now);
                 }
                 Err(e) => {
                     self.obs.counter("serve.requests.bad", 1);

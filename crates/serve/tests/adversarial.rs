@@ -37,7 +37,7 @@ fn spawn_server(
 
 fn client(addr: &str, seed: u64) -> Client {
     Client::new(ClientConfig {
-        addr: addr.to_string(),
+        addrs: vec![addr.to_string()],
         seed,
         retries: 10,
         base_backoff: Duration::from_millis(5),
@@ -52,6 +52,7 @@ fn workload_request(name: &str) -> Request {
         scale: SCALE as u64,
         timings: false,
         deadline_ms: 0,
+        relayed: false,
     }
 }
 

@@ -34,7 +34,7 @@ fn spawn_server(
 
 fn client(addr: &str, seed: u64) -> Client {
     Client::new(ClientConfig {
-        addr: addr.to_string(),
+        addrs: vec![addr.to_string()],
         seed,
         // Tests that expect success give the client room to outlast any
         // transient overload window.
@@ -51,6 +51,7 @@ fn workload_request(name: &str) -> Request {
         scale: SCALE as u64,
         timings: false,
         deadline_ms: 0,
+        relayed: false,
     }
 }
 
@@ -114,6 +115,7 @@ fn inline_trace_bytes_serve_the_same_report_as_the_workload_name() {
         scale: SCALE as u64,
         timings: false,
         deadline_ms: 0,
+        relayed: false,
     };
     let by_bytes = body_of(c.submit(&inline_req).expect("inline cold"));
     assert_eq!(by_name, by_bytes, "inline trace must render identically");
@@ -147,6 +149,7 @@ fn unknown_workload_is_a_typed_terminal_rejection() {
         scale: SCALE as u64,
         timings: false,
         deadline_ms: 0,
+        relayed: false,
     };
     match c.submit(&garbage).expect_err("garbage must be rejected") {
         ClientError::Rejected { status, .. } => assert_eq!(status, Status::BadRequest),
@@ -181,7 +184,7 @@ fn overload_sheds_typed_and_seeded_backoff_converges() {
         for seed in 0..n_clients {
             scope.spawn(move || {
                 let mut c = Client::new(ClientConfig {
-                    addr: addr.to_string(),
+                    addrs: vec![addr.to_string()],
                     seed,
                     retries: 40,
                     base_backoff: Duration::from_millis(10),

@@ -56,4 +56,4 @@ pub use replay_timing::CoreModel;
 pub use result::SimResult;
 pub use runner::simulate;
 pub use tracecache::{TraceEntry, TraceFiller};
-pub use tracestore::TraceStore;
+pub use tracestore::{Exchange, TraceStore};
